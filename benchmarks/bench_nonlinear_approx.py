@@ -1,0 +1,77 @@
+"""X3 — Sec. III-C: the SoftMax / GELU approximations.
+
+Reports approximation error against the float references and the constraint
+cost per gadget instance (three bit-decomposition sets + two multiplication
+sets per SoftMax element, per the paper)."""
+
+import math
+
+from repro.bench import format_table
+from repro.field.prime_field import BN254_FR_MODULUS
+from repro.gadgets.nonlinear import (
+    exp_gadget,
+    gelu_gadget,
+    gelu_poly_reference,
+    softmax_gadget,
+    softmax_reference,
+)
+from repro.gadgets.bits import field_to_signed
+from repro.r1cs import ConstraintSystem
+
+R = BN254_FR_MODULUS
+F = 12
+S = 1 << F
+
+
+def test_nonlinear_approximations(benchmark):
+    def build_softmax():
+        cs = ConstraintSystem()
+        xs = [1.3, -0.2, 0.8, 2.0, -1.5, 0.1, 0.4, -0.9]
+        wires = [
+            cs.alloc(f"x{i}", round(v * S) % R) for i, v in enumerate(xs)
+        ]
+        res = softmax_gadget(cs, wires, F)
+        return cs, xs, res
+
+    cs, xs, res = benchmark(build_softmax)
+    assert cs.is_satisfied()
+
+    got = [cs.value(w) / S for w in res.outputs]
+    ref = softmax_reference(xs)
+    sm_err = max(abs(g - r) for g, r in zip(got, ref))
+    sm_cost = len(cs.constraints)
+
+    # exp error profile over the clip range.
+    exp_rows = []
+    for x in (-0.5, -2.0, -4.0, -7.5):
+        cs2 = ConstraintSystem()
+        w = cs2.alloc("x", round(x * S) % R)
+        out = exp_gadget(cs2, w, F)
+        err = abs(cs2.value(out.out) / S - math.exp(x))
+        exp_rows.append([f"{x:+.1f}", f"{err:.5f}", str(len(cs2.constraints))])
+
+    # gelu
+    cs3 = ConstraintSystem()
+    w = cs3.alloc("x", round(0.6 * S) % R)
+    out3 = gelu_gadget(cs3, w, F)
+    gelu_err = abs(
+        field_to_signed(cs3.value(out3)) / S - gelu_poly_reference(0.6)
+    )
+    gelu_cost = len(cs3.constraints)
+
+    print()
+    print(format_table(
+        "X3a: exp(x) ~ (1 + x/2^n)^(2^n) on negative inputs",
+        ["x", "abs error", "constraints"], exp_rows,
+    ))
+    print()
+    print(format_table(
+        "X3b: gadget summary",
+        ["gadget", "max error", "constraints"],
+        [
+            ["softmax (8-wide row)", f"{sm_err:.4f}", str(sm_cost)],
+            ["gelu poly (1 element)", f"{gelu_err:.5f}", str(gelu_cost)],
+        ],
+    ))
+    assert sm_err < 0.03
+    assert gelu_err < 0.005

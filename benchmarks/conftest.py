@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Every benchmark prints the table/figure rows it reproduces (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them) and registers one
+timed kernel with pytest-benchmark.
+"""
+
+import pytest
+
+from repro.zkml.costmodel import CostModel
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    """Session-wide calibrated cost model (primitive rates measured once)."""
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def prover_cache():
+    """Share Groth16 trusted setups across benchmark rounds."""
+    return {}

@@ -1,0 +1,53 @@
+"""Quickstart: prove a matrix multiplication with zkVC.
+
+The server holds a private weight matrix W and computes Y = X @ W for a
+client.  zkVC produces a succinct proof that Y is correct without revealing
+W.  Run:
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro.core import MatmulProver
+
+random.seed(0)
+
+
+def main() -> None:
+    a, n, b = 4, 8, 4
+    x = [[random.randrange(-10, 10) for _ in range(n)] for _ in range(a)]
+    w = [[random.randrange(-10, 10) for _ in range(b)] for _ in range(n)]
+
+    print(f"Proving Y = X @ W for X[{a},{n}], W[{n},{b}] "
+          "(CRPC + PSQ circuit, Spartan backend — no trusted setup)")
+    prover = MatmulProver(a, n, b, strategy="crpc_psq", backend="spartan")
+    bundle = prover.prove(x, w)
+
+    print(f"  constraints: {len(prover.circuit.cs.constraints)} "
+          f"(vanilla would need {a * b * n + a * b})")
+    print(f"  prove time:  {bundle.timings['prove'] * 1000:.1f} ms")
+    print(f"  proof size:  {bundle.proof_size_bytes()} bytes")
+
+    assert prover.verify(bundle)
+    print(f"  verify time: {bundle.timings['verify'] * 1000:.1f} ms -> OK")
+
+    # A tampered result is rejected.
+    bundle.y[0][0] = bundle.y[0][0] + 1
+    assert not prover.verify(bundle)
+    print("  tampered output rejected -> OK")
+
+    # The same circuit on the pairing-based Groth16 backend (per-circuit
+    # trusted setup, constant 256-byte proofs).
+    print("\nSame statement on the Groth16 backend:")
+    g16 = MatmulProver(a, n, b, strategy="crpc_psq", backend="groth16")
+    bundle = g16.prove(x, w)
+    assert g16.verify(bundle)
+    print(f"  setup: {bundle.timings.get('setup', 0):.2f} s, "
+          f"prove: {bundle.timings['prove']:.2f} s, "
+          f"proof: {bundle.proof_size_bytes()} B, "
+          f"verify: {bundle.timings['verify']:.2f} s -> OK")
+
+
+if __name__ == "__main__":
+    main()

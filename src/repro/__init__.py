@@ -1,0 +1,13 @@
+"""zkVC reproduction — fast zero-knowledge proofs for matrix multiplication
+and verifiable Transformer inference (DAC 2025).
+
+Public entry points live in :mod:`repro.core`:
+
+* :func:`repro.core.prove_matmul` / :func:`repro.core.verify_matmul` — prove
+  a quantised matrix product with the CRPC + PSQ circuit on a Groth16 or
+  Spartan backend.
+* :class:`repro.core.MixerPlanner` — the hybrid token-mixer planner used for
+  end-to-end verifiable Transformers.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,14 @@
+"""Baseline schemes: zkCNN interactive sumcheck and the modelled halo2
+(zkML) prover.  vCNN- and ZEN-style circuits live in
+``repro.gadgets.matmul`` as strategies ("vcnn", "zen")."""
+
+from .zkcnn import ZkCnnMatmul, ZkCnnProof
+from .zkml_halo2 import Halo2Estimate, estimate_halo2, halo2_matmul_cost
+
+__all__ = [
+    "Halo2Estimate",
+    "ZkCnnMatmul",
+    "ZkCnnProof",
+    "estimate_halo2",
+    "halo2_matmul_cost",
+]

@@ -1,0 +1,31 @@
+"""Benchmark harness shared by the per-table/figure targets in benchmarks/."""
+
+from .harness import (
+    CIRCUIT_SCHEMES,
+    SchemeResult,
+    fmt_bytes,
+    fmt_s,
+    format_table,
+    model_scheme_at_scale,
+    random_matrices,
+    run_circuit_scheme,
+    run_zkcnn,
+    run_zkml_modelled,
+)
+from .tables import TABLE1_HEADERS, TABLE1_SCHEMES, table1_rows
+
+__all__ = [
+    "CIRCUIT_SCHEMES",
+    "SchemeResult",
+    "TABLE1_HEADERS",
+    "TABLE1_SCHEMES",
+    "fmt_bytes",
+    "fmt_s",
+    "format_table",
+    "model_scheme_at_scale",
+    "random_matrices",
+    "run_circuit_scheme",
+    "run_zkcnn",
+    "run_zkml_modelled",
+    "table1_rows",
+]

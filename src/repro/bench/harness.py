@@ -1,0 +1,173 @@
+"""Shared benchmark harness: scheme runners and table/figure printers.
+
+Every benchmark in ``benchmarks/`` reproduces one table or figure of the
+paper.  Real measurements come from actually running the provers at scaled
+dimensions; paper-scale rows are produced by the calibrated cost model and
+are explicitly labelled ``(modelled)``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.zkcnn import ZkCnnMatmul
+from ..baselines.zkml_halo2 import estimate_halo2, halo2_matmul_cost
+from ..core.api import MatmulProver
+from ..field.prime_field import BN254_FR_MODULUS
+from ..zkml.compile import matmul_cost
+from ..zkml.costmodel import CostModel
+
+R = BN254_FR_MODULUS
+
+
+@dataclass
+class SchemeResult:
+    scheme: str
+    prove_s: float
+    verify_s: float
+    proof_bytes: int
+    online_s: float
+    modelled: bool = False
+
+
+def random_matrices(a: int, n: int, b: int, seed: int = 0, lo: int = 0,
+                    hi: int = 256):
+    rng = random.Random(seed)
+    x = [[rng.randrange(lo, hi) for _ in range(n)] for _ in range(a)]
+    w = [[rng.randrange(lo, hi) for _ in range(b)] for _ in range(n)]
+    y = [
+        [sum(x[i][k] * w[k][j] for k in range(n)) % R for j in range(b)]
+        for i in range(a)
+    ]
+    return x, w, y
+
+
+# Scheme -> (backend, strategy) for the circuit-based schemes.
+CIRCUIT_SCHEMES: Dict[str, Tuple[str, str]] = {
+    "groth16": ("groth16", "vanilla"),
+    "spartan": ("spartan", "vanilla"),
+    "vCNN": ("groth16", "vcnn"),
+    "ZEN": ("groth16", "zen"),
+    "zkVC-G": ("groth16", "crpc_psq"),
+    "zkVC-S": ("spartan", "crpc_psq"),
+}
+
+
+def run_circuit_scheme(
+    scheme: str, a: int, n: int, b: int, seed: int = 0,
+    prover_cache: Optional[Dict] = None,
+) -> SchemeResult:
+    backend, strategy = CIRCUIT_SCHEMES[scheme]
+    x, w, _y = random_matrices(a, n, b, seed)
+    key = (scheme, a, n, b)
+    if prover_cache is not None and key in prover_cache:
+        prover = prover_cache[key]
+    else:
+        prover = MatmulProver(a, n, b, strategy=strategy, backend=backend)
+        if prover_cache is not None:
+            prover_cache[key] = prover
+    bundle = prover.prove(x, w)
+    ok = prover.verify(bundle)
+    if not ok:
+        raise RuntimeError(f"{scheme} proof failed to verify")
+    verify_s = bundle.timings["verify"]
+    return SchemeResult(
+        scheme=scheme,
+        prove_s=bundle.timings["prove"],
+        verify_s=verify_s,
+        proof_bytes=bundle.proof_size_bytes(),
+        online_s=verify_s,  # non-interactive: online time = verification
+    )
+
+
+def run_zkcnn(a: int, n: int, b: int, seed: int = 0) -> SchemeResult:
+    x, w, y = random_matrices(a, n, b, seed)
+    zk = ZkCnnMatmul(a, n, b)
+    proof = zk.prove(x, w, y)
+    t0 = time.perf_counter()
+    if not zk.verify(y, proof):
+        raise RuntimeError("zkCNN proof failed to verify")
+    verify_s = time.perf_counter() - t0
+    return SchemeResult(
+        scheme="zkCNN",
+        prove_s=proof.prover_time_s,
+        verify_s=verify_s,
+        proof_bytes=proof.size_bytes(),
+        # Interactive: both parties stay online for the whole protocol.
+        online_s=proof.online_time_s + verify_s,
+    )
+
+
+def run_zkml_modelled(a: int, n: int, b: int,
+                      model: CostModel) -> SchemeResult:
+    est = estimate_halo2(halo2_matmul_cost(a, n, b), model)
+    return SchemeResult(
+        scheme="zkML",
+        prove_s=est.prove_s,
+        verify_s=est.verify_s,
+        proof_bytes=est.proof_bytes,
+        online_s=est.verify_s,
+        modelled=True,
+    )
+
+
+def model_scheme_at_scale(
+    scheme: str, a: int, n: int, b: int, model: CostModel
+) -> SchemeResult:
+    """Cost-model prediction for a circuit scheme at paper-scale dims."""
+    if scheme == "zkML":
+        return run_zkml_modelled(a, n, b, model)
+    backend, strategy = CIRCUIT_SCHEMES[scheme]
+    cost = matmul_cost(a, n, b, strategy)
+    if backend == "groth16":
+        prove = model.groth16_prove_time(cost)
+        verify = model.groth16_verify_time(a * b)
+        size = model.groth16_proof_size()
+    else:
+        prove = model.spartan_prove_time(cost)
+        verify = model.spartan_verify_time(cost)
+        size = model.spartan_proof_size(cost)
+    return SchemeResult(
+        scheme=scheme, prove_s=prove, verify_s=verify,
+        proof_bytes=size, online_s=verify, modelled=True,
+    )
+
+
+# -- pretty printing --------------------------------------------------------
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(r, widths))
+        )
+    return "\n".join(lines)
+
+
+def fmt_s(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def fmt_bytes(n: int) -> str:
+    if n < 1024:
+        return f"{n}B"
+    if n < 1024 * 1024:
+        return f"{n / 1024:.1f}KB"
+    return f"{n / 1024 / 1024:.1f}MB"

@@ -1,0 +1,57 @@
+"""Table I — the qualitative scheme-feature matrix, generated from scheme
+metadata so the benchmark run prints the paper's comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class SchemeFeatures:
+    name: str
+    zero_knowledge: bool
+    non_interactive: bool
+    constant_proof: bool
+    no_trusted_setup: bool
+    transformers: bool
+    efficient_matmult: bool
+    zkml_codesign: bool
+
+    def row(self) -> List[str]:
+        def mark(b: bool) -> str:
+            return "yes" if b else "-"
+
+        return [
+            self.name,
+            mark(self.zero_knowledge),
+            mark(self.non_interactive),
+            mark(self.constant_proof),
+            mark(self.no_trusted_setup),
+            mark(self.transformers),
+            mark(self.efficient_matmult),
+            mark(self.zkml_codesign),
+        ]
+
+
+TABLE1_HEADERS = [
+    "Scheme", "zk", "Non-Inter.", "Const. Proof", "No Trusted Setup",
+    "Transformers", "Efficient MatMult", "zk-ML Codesign",
+]
+
+# Feature rows exactly as the paper's Table I states them.
+TABLE1_SCHEMES = [
+    SchemeFeatures("SafetyNets", False, False, False, True, False, False, False),
+    SchemeFeatures("zkCNN", True, False, False, True, False, False, False),
+    SchemeFeatures("Keuffer's", True, True, True, False, False, False, False),
+    SchemeFeatures("vCNN", True, True, True, False, False, False, False),
+    SchemeFeatures("VeriML", True, True, True, False, False, False, False),
+    SchemeFeatures("ZEN", True, True, True, False, False, False, False),
+    SchemeFeatures("zkML", True, True, False, False, False, False, False),
+    SchemeFeatures("pvCNN", True, True, True, False, False, False, False),
+    SchemeFeatures("zkVC", True, True, True, True, True, True, True),
+]
+
+
+def table1_rows() -> List[List[str]]:
+    return [s.row() for s in TABLE1_SCHEMES]

@@ -1,0 +1,36 @@
+"""zkVC core: CRPC + PSQ matmul proving API and the hybrid mixer planner."""
+
+from .api import (
+    BACKENDS,
+    MatmulProofBundle,
+    MatmulProver,
+    prove_matmul,
+    verify_matmul,
+)
+from .crpc import (
+    ConstraintTheory,
+    crpc_identity_holds,
+    pack_x_column,
+    pack_w_row,
+    pack_y,
+    theory_counts,
+)
+from .psq import LeftWireReport, left_wire_report, prefix_sums, psq_reduction_factor
+
+__all__ = [
+    "BACKENDS",
+    "ConstraintTheory",
+    "LeftWireReport",
+    "MatmulProofBundle",
+    "MatmulProver",
+    "crpc_identity_holds",
+    "left_wire_report",
+    "pack_w_row",
+    "pack_x_column",
+    "pack_y",
+    "prefix_sums",
+    "prove_matmul",
+    "psq_reduction_factor",
+    "theory_counts",
+    "verify_matmul",
+]

@@ -1,0 +1,226 @@
+"""zkVC public API: prove and verify matrix multiplications.
+
+Typical use::
+
+    from repro.core import MatmulProver
+
+    prover = MatmulProver(a=4, n=8, b=4, strategy="crpc_psq",
+                          backend="groth16")
+    bundle = prover.prove(X, W)           # X: a*n ints, W: n*b ints
+    assert prover.verify(bundle)
+
+Backends:
+
+* ``groth16`` — pairing-based, constant proof size (256 B), per-circuit
+  trusted setup.  The CRPC packing point is fixed at setup (it is part of
+  the circuit's public parameters, as in the paper's implementation).
+* ``spartan`` — transparent (no trusted setup).  The packing point is
+  derived by Fiat–Shamir from a salted commitment to (X, W) and the claimed
+  Y, so it is fixed only after the inputs are bound — the commit-then-prove
+  ordering.
+
+Soundness note (documented in DESIGN.md): binding the Spartan witness to
+the input commitment is assumed, not enforced in-circuit, mirroring the
+paper's setting where the model weights are committed once out-of-band.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .. import groth16
+from .. import spartan
+from ..field.prime_field import BN254_FR_MODULUS
+from ..gadgets.matmul import STRATEGIES, MatmulCircuit
+from ..r1cs.builder import derive_z
+
+R = BN254_FR_MODULUS
+
+BACKENDS = ("groth16", "spartan")
+
+
+def _matrix_bytes(mat: Sequence[Sequence[int]]) -> bytes:
+    return b"".join(
+        (int(v) % R).to_bytes(32, "big") for row in mat for v in row
+    )
+
+
+@dataclass
+class MatmulProofBundle:
+    """Everything a verifier needs, plus measured timings for benchmarks."""
+
+    backend: str
+    strategy: str
+    shape: tuple
+    y: List[List[int]]            # claimed product, field values
+    proof: object
+    z: int                        # CRPC packing point used
+    commitment: bytes             # input commitment (spartan flow)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def proof_size_bytes(self) -> int:
+        return self.proof.size_bytes()
+
+    def public_inputs(self) -> List[int]:
+        return [v for row in self.y for v in row]
+
+
+class MatmulProver:
+    """Builds the circuit once per (shape, strategy, backend) and proves
+    arbitrarily many instances against it."""
+
+    def __init__(
+        self,
+        a: int,
+        n: int,
+        b: int,
+        strategy: str = "crpc_psq",
+        backend: str = "groth16",
+        rng=None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}")
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.a, self.n, self.b = a, n, b
+        self.strategy = strategy
+        self.backend = backend
+        self._rng = rng
+        self.circuit = MatmulCircuit(a, n, b, strategy)
+        self._keypair = None
+        self._groth16_instance = None
+        self.timings: Dict[str, float] = {}
+
+    # -- groth16 setup (lazy, cached) -----------------------------------------
+    def _ensure_groth16(self):
+        if self._keypair is None:
+            z = self.circuit.packing_point()
+            t0 = time.perf_counter()
+            self._groth16_instance = self.circuit.cs.specialize(z)
+            self._keypair = groth16.setup(self._groth16_instance, self._rng)
+            self.timings["setup"] = time.perf_counter() - t0
+        return self._keypair
+
+    # -- proving -----------------------------------------------------------------
+    def prove(self, x_mat, w_mat) -> MatmulProofBundle:
+        if self.backend == "groth16":
+            return self._prove_groth16(x_mat, w_mat)
+        return self._prove_spartan(x_mat, w_mat)
+
+    def _prove_groth16(self, x_mat, w_mat) -> MatmulProofBundle:
+        keypair = self._ensure_groth16()
+        z = self.circuit.packing_point()
+        t0 = time.perf_counter()
+        y = self.circuit.assign(x_mat, w_mat, z)
+        proof = groth16.prove(
+            keypair.pk,
+            self._groth16_instance,
+            self.circuit.cs.assignment(),
+            self._rng,
+        )
+        prove_time = time.perf_counter() - t0
+        return MatmulProofBundle(
+            backend="groth16",
+            strategy=self.strategy,
+            shape=(self.a, self.n, self.b),
+            y=y,
+            proof=proof,
+            z=z,
+            commitment=b"",
+            timings={"prove": prove_time, **self.timings},
+        )
+
+    def _prove_spartan(self, x_mat, w_mat) -> MatmulProofBundle:
+        t0 = time.perf_counter()
+        salt = secrets.token_bytes(16)
+        commitment = (
+            salt
+            + hashlib.sha256(
+                salt + _matrix_bytes(x_mat) + _matrix_bytes(w_mat)
+            ).digest()
+        )
+        # Fix the packing point only after the inputs are bound.
+        y_probe = [
+            [
+                sum(int(x_mat[i][k]) * int(w_mat[k][j]) for k in range(self.n))
+                % R
+                for j in range(self.b)
+            ]
+            for i in range(self.a)
+        ]
+        z = derive_z(
+            self.circuit.circuit_id() + commitment + _matrix_bytes(y_probe)
+        )
+        y = self.circuit.assign(x_mat, w_mat, z)
+        instance = self.circuit.cs.specialize(z)
+        transcript = spartan.Transcript(b"zkvc-matmul")
+        transcript.append_bytes(b"commitment", commitment)
+        transcript.append_scalar(b"packing-z", z)
+        proof = spartan.prove(
+            instance, self.circuit.cs.assignment(), transcript
+        )
+        prove_time = time.perf_counter() - t0
+        return MatmulProofBundle(
+            backend="spartan",
+            strategy=self.strategy,
+            shape=(self.a, self.n, self.b),
+            y=y,
+            proof=proof,
+            z=z,
+            commitment=commitment,
+            timings={"prove": prove_time},
+        )
+
+    # -- verification --------------------------------------------------------------
+    def verify(self, bundle: MatmulProofBundle) -> bool:
+        t0 = time.perf_counter()
+        try:
+            if bundle.backend == "groth16":
+                keypair = self._ensure_groth16()
+                ok = groth16.verify(
+                    keypair.vk, bundle.public_inputs(), bundle.proof
+                )
+            else:
+                expected_z = derive_z(
+                    self.circuit.circuit_id()
+                    + bundle.commitment
+                    + _matrix_bytes(bundle.y)
+                )
+                if bundle.z != expected_z:
+                    return False
+                instance = self.circuit.cs.specialize(bundle.z)
+                transcript = spartan.Transcript(b"zkvc-matmul")
+                transcript.append_bytes(b"commitment", bundle.commitment)
+                transcript.append_scalar(b"packing-z", bundle.z)
+                ok = spartan.verify(
+                    instance, bundle.public_inputs(), bundle.proof, transcript
+                )
+        finally:
+            bundle.timings["verify"] = time.perf_counter() - t0
+        return ok
+
+
+def prove_matmul(
+    x_mat,
+    w_mat,
+    strategy: str = "crpc_psq",
+    backend: str = "groth16",
+    prover: Optional[MatmulProver] = None,
+):
+    """One-shot convenience wrapper.  Returns ``(bundle, prover)`` so the
+    prover (and its trusted setup) can be reused."""
+    a, n, b = len(x_mat), len(x_mat[0]), len(w_mat[0])
+    if len(w_mat) != n:
+        raise ValueError("inner dimensions do not match")
+    if prover is None:
+        prover = MatmulProver(a, n, b, strategy=strategy, backend=backend)
+    bundle = prover.prove(x_mat, w_mat)
+    return bundle, prover
+
+
+def verify_matmul(bundle: MatmulProofBundle, prover: MatmulProver) -> bool:
+    return prover.verify(bundle)

@@ -1,0 +1,118 @@
+"""CRPC — Constraint-Reduced Polynomial Circuits (paper Sec. III-A).
+
+Pure-math helpers for the packing transform, plus the constraint-count
+theory the paper states (``a*b*n -> n``).  The circuit construction itself
+lives in :mod:`repro.gadgets.matmul`; these functions are used by tests and
+benchmarks to audit it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..field.prime_field import BN254_FR_MODULUS
+
+R = BN254_FR_MODULUS
+
+
+def pack_x_column(x_mat: Sequence[Sequence[int]], k: int, b: int, z: int) -> int:
+    """``X_k(z) = sum_i z^{i*b} x_ik`` — a column of X as a polynomial."""
+    return sum(
+        pow(z, i * b, R) * (int(row[k]) % R) for i, row in enumerate(x_mat)
+    ) % R
+
+
+def pack_w_row(w_mat: Sequence[Sequence[int]], k: int, z: int) -> int:
+    """``W_k(z) = sum_j z^j w_kj`` — a row of W as a polynomial."""
+    return sum(
+        pow(z, j, R) * (int(v) % R) for j, v in enumerate(w_mat[k])
+    ) % R
+
+
+def pack_y(y_mat: Sequence[Sequence[int]], b: int, z: int) -> int:
+    """``Y(z) = sum_{ij} z^{i*b+j} y_ij``."""
+    return sum(
+        pow(z, i * b + j, R) * (int(v) % R)
+        for i, row in enumerate(y_mat)
+        for j, v in enumerate(row)
+    ) % R
+
+
+def crpc_identity_holds(
+    x_mat, w_mat, y_mat, z: int
+) -> bool:
+    """Check the paper's generalised CRPC identity at a concrete point:
+
+    ``sum_{ij} Z^{ib+j} y_ij == sum_k X_k(Z) * W_k(Z)``.
+    """
+    a = len(x_mat)
+    n = len(x_mat[0])
+    b = len(w_mat[0])
+    del a
+    lhs = pack_y(y_mat, b, z)
+    rhs = sum(
+        pack_x_column(x_mat, k, b, z) * pack_w_row(w_mat, k, z)
+        for k in range(n)
+    ) % R
+    return lhs == rhs
+
+
+@dataclass
+class ConstraintTheory:
+    """Closed-form constraint/variable counts per strategy, as the paper
+    reports them (Sec. III-A/B)."""
+
+    strategy: str
+    constraints: int
+    variables: int
+    left_wire_terms: int
+
+
+def theory_counts(a: int, n: int, b: int, strategy: str) -> ConstraintTheory:
+    io = a * n + n * b + a * b  # x, w, y wires
+    if strategy == "vanilla":
+        return ConstraintTheory(
+            strategy,
+            constraints=a * b * n + a * b,
+            variables=io + a * b * n,
+            left_wire_terms=a * b * n + a * b * n,
+        )
+    if strategy == "vanilla_psq":
+        return ConstraintTheory(
+            strategy,
+            constraints=a * b * n,
+            variables=io + a * b * (n - 1),
+            left_wire_terms=a * b * n,
+        )
+    if strategy == "crpc":
+        return ConstraintTheory(
+            strategy,
+            constraints=n + a * b,
+            variables=io + a * b * n,
+            left_wire_terms=a * n + a * b * n,
+        )
+    if strategy == "crpc_psq":
+        return ConstraintTheory(
+            strategy,
+            constraints=n,
+            variables=io + (n - 1),
+            left_wire_terms=a * n,
+        )
+    if strategy == "vcnn":
+        return ConstraintTheory(
+            strategy,
+            constraints=a * b,
+            variables=io + a * b * (2 * n - 2),
+            left_wire_terms=a * b * n,
+        )
+    if strategy == "zen":
+        pairs, tail = n // 2, n % 2
+        return ConstraintTheory(
+            strategy,
+            constraints=a * b * (pairs + tail + 1),
+            variables=io + a * b * (3 * pairs + tail),
+            left_wire_terms=a * b * (2 * pairs + tail)
+            + a * b * (pairs + tail),
+        )
+    raise ValueError(f"unknown strategy {strategy!r}")

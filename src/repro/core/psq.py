@@ -1,0 +1,58 @@
+"""PSQ — Prefix-Sum Query (paper Sec. III-B).
+
+Pure-math helpers: prefix-sum accumulation and the left-wire accounting the
+paper uses to justify PSQ ("6 left wires -> 3" in Fig. 5; ``O(n^3)`` ->
+``O(n^2)`` variables overall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..field.prime_field import BN254_FR_MODULUS
+from ..r1cs.builder import CircuitStats, ConstraintSystem
+
+R = BN254_FR_MODULUS
+
+
+def prefix_sums(values: Sequence[int]) -> List[int]:
+    """Running prefix sums mod R — the PSQ accumulator trajectory."""
+    out: List[int] = []
+    acc = 0
+    for v in values:
+        acc = (acc + int(v)) % R
+        out.append(acc)
+    return out
+
+
+@dataclass
+class LeftWireReport:
+    """Left-wire (A-side) accounting for a built circuit."""
+
+    strategy: str
+    a_terms: int          # total nonzero entries in the A matrix
+    a_wires: int          # distinct wires on the A side
+    num_constraints: int
+    num_wires: int
+
+    @classmethod
+    def from_stats(cls, strategy: str, stats: CircuitStats) -> "LeftWireReport":
+        return cls(
+            strategy=strategy,
+            a_terms=stats.a_terms,
+            a_wires=stats.a_wires,
+            num_constraints=stats.num_constraints,
+            num_wires=stats.num_wires,
+        )
+
+
+def left_wire_report(strategy: str, cs: ConstraintSystem) -> LeftWireReport:
+    return LeftWireReport.from_stats(strategy, cs.stats())
+
+
+def psq_reduction_factor(without: LeftWireReport, with_psq: LeftWireReport) -> float:
+    """Fractional reduction in A-side terms achieved by PSQ."""
+    if without.a_terms == 0:
+        return 0.0
+    return 1.0 - with_psq.a_terms / without.a_terms

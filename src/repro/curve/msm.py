@@ -1,0 +1,98 @@
+"""Multi-scalar multiplication (Pippenger bucket method) over BN254 G1.
+
+MSM dominates Groth16's prover cost, so it gets a real algorithm rather than
+a naive loop: with ``n`` points and window size ``c`` the cost is roughly
+``(254/c) * (n + 2^c)`` point additions instead of ``254 * n / 2`` for the
+naive double-and-add per point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .bn254 import (
+    JAC_INFINITY,
+    AffinePoint,
+    CURVE_ORDER,
+    JacPoint,
+    _affine_to_jac,
+    _jac_add,
+    _jac_double,
+    _jac_to_affine,
+)
+
+
+def _window_size(n: int) -> int:
+    if n < 4:
+        return 2
+    if n < 32:
+        return 4
+    if n < 256:
+        return 6
+    if n < 4096:
+        return 8
+    return 12
+
+
+def msm(points: Sequence[AffinePoint], scalars: Sequence[int]) -> AffinePoint:
+    """``sum_i scalars[i] * points[i]`` over G1.
+
+    ``None`` points and zero scalars are skipped.  The scalar list is reduced
+    mod the curve order first.
+    """
+    if len(points) != len(scalars):
+        raise ValueError("points and scalars must have equal length")
+    pairs: List[Tuple[JacPoint, int]] = []
+    for pt, sc in zip(points, scalars):
+        sc %= CURVE_ORDER
+        if pt is None or sc == 0:
+            continue
+        pairs.append((_affine_to_jac(pt), sc))
+    if not pairs:
+        return None
+    if len(pairs) == 1:
+        jac, sc = pairs[0]
+        return _jac_to_affine(_jac_mul_simple(jac, sc))
+
+    c = _window_size(len(pairs))
+    num_windows = (CURVE_ORDER.bit_length() + c - 1) // c
+    mask = (1 << c) - 1
+
+    result: JacPoint = JAC_INFINITY
+    for w in range(num_windows - 1, -1, -1):
+        if result != JAC_INFINITY:
+            for _ in range(c):
+                result = _jac_double(result)
+        buckets: List[Optional[JacPoint]] = [None] * (1 << c)
+        shift = w * c
+        for jac, sc in pairs:
+            digit = (sc >> shift) & mask
+            if digit:
+                cur = buckets[digit]
+                buckets[digit] = jac if cur is None else _jac_add(cur, jac)
+        running: Optional[JacPoint] = None
+        window_sum: Optional[JacPoint] = None
+        for digit in range(len(buckets) - 1, 0, -1):
+            b = buckets[digit]
+            if b is not None:
+                running = b if running is None else _jac_add(running, b)
+            if running is not None:
+                window_sum = (
+                    running
+                    if window_sum is None
+                    else _jac_add(window_sum, running)
+                )
+        if window_sum is not None:
+            result = _jac_add(result, window_sum)
+    return _jac_to_affine(result)
+
+
+def _jac_mul_simple(pt: JacPoint, scalar: int) -> JacPoint:
+    result = JAC_INFINITY
+    addend = pt
+    while scalar:
+        if scalar & 1:
+            result = _jac_add(result, addend)
+        addend = _jac_double(addend)
+        scalar >>= 1
+    return result

@@ -1,0 +1,100 @@
+"""Optimal-ate pairing on BN254.
+
+Implements the Miller loop with the standard line functions and a naive
+final exponentiation ``f^((p^12 - 1) / r)``.  The structure follows py_ecc's
+``bn128_pairing`` module, which is the reference pure-Python implementation
+of this curve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..field.extension import Fq2, Fq12, P
+from .bn254 import (
+    AffinePoint,
+    CURVE_ORDER,
+    add,
+    double,
+    is_on_curve,
+    multiply,
+    neg,
+    twist,
+)
+
+ATE_LOOP_COUNT = 29793968203157093288
+LOG_ATE_LOOP_COUNT = 63
+
+FINAL_EXPONENT = (P ** 12 - 1) // CURVE_ORDER
+
+
+def _linefunc(p1: AffinePoint, p2: AffinePoint, t: AffinePoint):
+    """Evaluate the line through p1,p2 at point t (all over Fq12)."""
+    x1, y1 = p1
+    x2, y2 = p2
+    xt, yt = t
+    if x1 != x2:
+        slope = (y2 - y1) / (x2 - x1)
+        return slope * (xt - x1) - (yt - y1)
+    if y1 == y2:
+        slope = (x1 * x1 * 3) / (y1 * 2)
+        return slope * (xt - x1) - (yt - y1)
+    return xt - x1
+
+
+def _cast_g1_to_fq12(point: AffinePoint) -> AffinePoint:
+    if point is None:
+        return None
+    x, y = point
+    return (Fq12.from_int(x), Fq12.from_int(y))
+
+
+def miller_loop(q: AffinePoint, p: AffinePoint) -> Fq12:
+    """Miller loop over the twisted Q (Fq12 coords) and embedded P,
+    including the final exponentiation."""
+    if q is None or p is None:
+        return Fq12.one()
+    return miller_loop_raw(q, p) ** FINAL_EXPONENT
+
+
+def pairing(q2: Optional[Tuple[Fq2, Fq2]], p1: AffinePoint) -> Fq12:
+    """e(P, Q) for P in G1 (Fq coords) and Q in G2 (Fq2 coords)."""
+    if p1 is None or q2 is None:
+        return Fq12.one()
+    if not is_on_curve(p1, 3):
+        raise ValueError("P is not on G1")
+    return miller_loop(twist(q2), _cast_g1_to_fq12(p1))
+
+
+def pairing_product_is_one(pairs) -> bool:
+    """Check ``prod e(Pi, Qi) == 1`` — the Groth16 verification shape.
+
+    Each element of ``pairs`` is ``(g1_point, g2_point)``.
+    """
+    acc = Fq12.one()
+    for p1, q2 in pairs:
+        if p1 is None or q2 is None:
+            continue
+        acc = acc * miller_loop_raw(twist(q2), _cast_g1_to_fq12(p1))
+    return acc ** FINAL_EXPONENT == Fq12.one()
+
+
+def miller_loop_raw(q: AffinePoint, p: AffinePoint) -> Fq12:
+    """Miller loop *without* the final exponentiation, so products of
+    pairings can share a single final exponentiation."""
+    if q is None or p is None:
+        return Fq12.one()
+    r = q
+    f = Fq12.one()
+    for i in range(LOG_ATE_LOOP_COUNT, -1, -1):
+        f = f * f * _linefunc(r, r, p)
+        r = double(r)
+        if ATE_LOOP_COUNT & (1 << i):
+            f = f * _linefunc(r, q, p)
+            r = add(r, q)
+    q1 = (q[0] ** P, q[1] ** P)
+    nq2 = (q1[0] ** P, -(q1[1] ** P))
+    f = f * _linefunc(r, q1, p)
+    r = add(r, q1)
+    f = f * _linefunc(r, nq2, p)
+    return f

@@ -1,0 +1,48 @@
+"""Finite-field arithmetic: BN254 prime fields, extension tower, and NTT."""
+
+from .prime_field import (
+    BN254_FQ_MODULUS,
+    BN254_FR_MODULUS,
+    BN254_FR_TWO_ADICITY,
+    FieldElement,
+    Fq,
+    Fr,
+    PrimeField,
+    batch_inv_mod,
+    dot_mod,
+    fr_root_of_unity,
+    inv_mod,
+    sqrt_mod,
+)
+from .extension import Fq2, Fq12
+from .ntt import (
+    evaluate_on_coset,
+    interpolate_from_coset,
+    intt,
+    mul_polys_ntt,
+    next_power_of_two,
+    ntt,
+)
+
+__all__ = [
+    "BN254_FQ_MODULUS",
+    "BN254_FR_MODULUS",
+    "BN254_FR_TWO_ADICITY",
+    "FieldElement",
+    "Fq",
+    "Fq2",
+    "Fq12",
+    "Fr",
+    "PrimeField",
+    "batch_inv_mod",
+    "dot_mod",
+    "evaluate_on_coset",
+    "fr_root_of_unity",
+    "interpolate_from_coset",
+    "intt",
+    "inv_mod",
+    "mul_polys_ntt",
+    "next_power_of_two",
+    "ntt",
+    "sqrt_mod",
+]

@@ -1,0 +1,105 @@
+"""Radix-2 number-theoretic transform over the BN254 scalar field.
+
+Used by the QAP compiler and the Groth16 prover to move between coefficient
+and evaluation representations in ``O(N log N)``.  All routines operate on
+lists of raw integers mod ``Fr`` for speed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .prime_field import BN254_FR_MODULUS, fr_root_of_unity, inv_mod
+
+R = BN254_FR_MODULUS
+
+
+def _bit_reverse_permute(values: List[int]) -> None:
+    n = len(values)
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            values[i], values[j] = values[j], values[i]
+
+
+def ntt(values: Sequence[int], inverse: bool = False) -> List[int]:
+    """In-order NTT (or inverse NTT) of a power-of-two-length vector."""
+    n = len(values)
+    if n & (n - 1):
+        raise ValueError("NTT length must be a power of two")
+    out = [v % R for v in values]
+    if n == 1:
+        return out
+    _bit_reverse_permute(out)
+    root = fr_root_of_unity(n)
+    if inverse:
+        root = inv_mod(root, R)
+    length = 2
+    while length <= n:
+        w_step = pow(root, n // length, R)
+        half = length // 2
+        for start in range(0, n, length):
+            w = 1
+            for k in range(start, start + half):
+                even = out[k]
+                odd = out[k + half] * w % R
+                out[k] = (even + odd) % R
+                out[k + half] = (even - odd) % R
+                w = w * w_step % R
+        length <<= 1
+    if inverse:
+        n_inv = inv_mod(n, R)
+        out = [v * n_inv % R for v in out]
+    return out
+
+
+def intt(values: Sequence[int]) -> List[int]:
+    """Inverse NTT: evaluations on the domain -> coefficients."""
+    return ntt(values, inverse=True)
+
+
+def next_power_of_two(n: int) -> int:
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def mul_polys_ntt(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Polynomial product via NTT; returns coefficients (trailing zeros kept
+    off)."""
+    if not a or not b:
+        return []
+    size = next_power_of_two(len(a) + len(b) - 1)
+    fa = ntt(list(a) + [0] * (size - len(a)))
+    fb = ntt(list(b) + [0] * (size - len(b)))
+    fc = [x * y % R for x, y in zip(fa, fb)]
+    coeffs = intt(fc)
+    del coeffs[len(a) + len(b) - 1:]
+    return coeffs
+
+
+def coset_shift(coeffs: Sequence[int], g: int) -> List[int]:
+    """Map p(X) -> p(gX) by scaling coefficient i with g^i."""
+    out: List[int] = []
+    power = 1
+    for c in coeffs:
+        out.append(c * power % R)
+        power = power * g % R
+    return out
+
+
+def evaluate_on_coset(coeffs: Sequence[int], size: int, g: int) -> List[int]:
+    """Evaluate a polynomial on the coset ``g * <omega_size>``."""
+    padded = list(coeffs) + [0] * (size - len(coeffs))
+    return ntt(coset_shift(padded, g))
+
+
+def interpolate_from_coset(evals: Sequence[int], g: int) -> List[int]:
+    """Inverse of :func:`evaluate_on_coset`."""
+    coeffs = intt(list(evals))
+    return coset_shift(coeffs, inv_mod(g, R))

@@ -1,0 +1,61 @@
+"""Circuit gadgets: matmul strategies, bit decomposition, fixed point,
+nonlinear-function approximations, and LayerNorm."""
+
+from .bits import (
+    assert_in_range,
+    assert_less_equal,
+    bit_decompose,
+    field_to_signed,
+    is_greater_equal,
+    max_gadget,
+)
+from .fixedpoint import (
+    fixed_mul_gadget,
+    from_fixed,
+    rescale_gadget,
+    signed_rescale_gadget,
+    to_fixed,
+)
+from .convolution import CONV_STRATEGIES, Conv1dCircuit, conv1d_reference
+from .layernorm import LayerNormResult, layernorm_gadget
+from .matmul import STRATEGIES, MatmulCircuit, build_matmul_circuit
+from .nonlinear import (
+    ExpResult,
+    SoftmaxResult,
+    exp_gadget,
+    gelu_gadget,
+    gelu_poly_reference,
+    gelu_reference,
+    softmax_gadget,
+    softmax_reference,
+)
+
+__all__ = [
+    "CONV_STRATEGIES",
+    "Conv1dCircuit",
+    "ExpResult",
+    "conv1d_reference",
+    "LayerNormResult",
+    "MatmulCircuit",
+    "STRATEGIES",
+    "SoftmaxResult",
+    "assert_in_range",
+    "assert_less_equal",
+    "bit_decompose",
+    "build_matmul_circuit",
+    "exp_gadget",
+    "field_to_signed",
+    "fixed_mul_gadget",
+    "from_fixed",
+    "gelu_gadget",
+    "gelu_poly_reference",
+    "gelu_reference",
+    "is_greater_equal",
+    "layernorm_gadget",
+    "max_gadget",
+    "rescale_gadget",
+    "signed_rescale_gadget",
+    "softmax_gadget",
+    "softmax_reference",
+    "to_fixed",
+]

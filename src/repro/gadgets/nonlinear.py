@@ -1,0 +1,260 @@
+"""Nonlinear-function approximation gadgets (paper Sec. III-C).
+
+* SoftMax: max-normalise, then ``e^x ~ (1 + x/2^n)^(2^n)`` on the negative
+  inputs (clipped below threshold ``T``), then a verified division.
+* GELU: the paper's polynomial ``x^2/8 + x/4 + 1/2``.
+
+All gadgets work in ``2^frac_bits`` fixed point and are value-eager.  Each
+returns its output wires plus enough structure for tests to audit the
+approximation error against the float reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..field.prime_field import BN254_FR_MODULUS
+from ..r1cs.builder import ConstraintSystem
+from ..r1cs.lincomb import LC
+from .bits import bit_decompose, field_to_signed, is_greater_equal, max_gadget
+from .fixedpoint import rescale_gadget
+
+R = BN254_FR_MODULUS
+
+# Paper defaults: clip e^x to 0 below T; 2^n squaring depth for the Taylor
+# limit approximation.
+DEFAULT_EXP_ITERS = 5
+DEFAULT_CLIP_T = -8.0
+
+
+@dataclass
+class ExpResult:
+    out: int                # wire: ~ 2^frac_bits * e^x, clipped
+    selector: int           # wire: 1 if x >= T else 0
+
+
+def exp_gadget(
+    cs: ConstraintSystem,
+    x_wire: int,
+    frac_bits: int,
+    iters: int = DEFAULT_EXP_ITERS,
+    clip_t: float = DEFAULT_CLIP_T,
+    name: str = "exp",
+) -> ExpResult:
+    """Approximate ``e^x`` for a *non-positive* fixed-point input.
+
+    Implements the paper's piecewise form: 0 below ``T``, otherwise
+    ``(1 + x/2^n)^(2^n)`` via ``iters`` verified squarings.
+    """
+    scale = 1 << frac_bits
+    x_val = field_to_signed(cs.value(x_wire))
+    if x_val > 0:
+        raise ValueError("exp_gadget expects non-positive input")
+    t_fixed = round(clip_t * scale)
+
+    # Selector for the clip branch: s = [x >= T].
+    t_wire = cs.alloc(f"{name}-T", t_fixed % R)
+    cs.enforce_equal(
+        LC.from_wire(t_wire), LC.constant(t_fixed % R), label=f"{name}-T-def"
+    )
+    # Comparisons need |x - T| to fit; magnitudes here are < 2^(frac+6).
+    cmp_bits = frac_bits + 8
+    s = is_greater_equal(cs, x_wire, t_wire, cmp_bits, f"{name}-clip")
+
+    # u = -x (non-negative), clamped at -T so the base stays in [0, scale].
+    x_eff = max(x_val, t_fixed)
+    u_val = -x_eff
+    u = cs.alloc(f"{name}-u", u_val % R)
+    # s=1 -> u == -x; s=0 -> u == -T.  One constraint:
+    #   u = s*(-x + T) - T  ->  s*(T - x) = u + T
+    cs.enforce(
+        LC.from_wire(s),
+        LC.from_wire(t_wire) - LC.from_wire(x_wire),
+        LC.from_wire(u) + LC.constant(t_fixed % R),
+        label=f"{name}-u-def",
+    )
+
+    # base = scale - u / 2^iters  (floor division, verified).
+    u_shift = rescale_gadget(
+        cs, u, iters, frac_bits + 4, f"{name}-ushift"
+    )
+    base_val = (scale - cs.value(u_shift)) % R
+    base = cs.alloc(f"{name}-base", base_val)
+    cs.enforce_equal(
+        LC.from_wire(base),
+        LC.constant(scale) - LC.from_wire(u_shift),
+        label=f"{name}-base-def",
+    )
+
+    # iters verified squarings with rescale: sq <- sq^2 / scale.
+    cur = base
+    for t in range(iters):
+        raw_val = cs.value(cur) * cs.value(cur) % R
+        raw = cs.alloc(f"{name}-sq{t}-raw", raw_val)
+        cs.enforce(
+            LC.from_wire(cur),
+            LC.from_wire(cur),
+            LC.from_wire(raw),
+            label=f"{name}-sq{t}",
+        )
+        cur = rescale_gadget(
+            cs, raw, frac_bits, frac_bits + 2, f"{name}-sq{t}-rs"
+        )
+
+    # Clip: out = s * cur.
+    out_val = cs.value(s) * cs.value(cur) % R
+    out = cs.alloc(f"{name}-out", out_val)
+    cs.enforce(
+        LC.from_wire(s),
+        LC.from_wire(cur),
+        LC.from_wire(out),
+        label=f"{name}-clip-mul",
+    )
+    return ExpResult(out=out, selector=s)
+
+
+@dataclass
+class SoftmaxResult:
+    outputs: List[int]      # wires: ~ 2^frac_bits * softmax_i(x)
+    max_wire: int
+    exp_wires: List[int]
+
+
+def softmax_gadget(
+    cs: ConstraintSystem,
+    x_wires: Sequence[int],
+    frac_bits: int,
+    iters: int = DEFAULT_EXP_ITERS,
+    clip_t: float = DEFAULT_CLIP_T,
+    name: str = "softmax",
+) -> SoftmaxResult:
+    """The paper's verified SoftMax: max-normalise, approximate exp, divide.
+
+    Division ``out_i = e_i * scale / sum`` is verified Euclidean-style:
+    ``out_i * sum + rem_i == e_i * scale`` with ``0 <= rem_i < sum``.
+    """
+    scale = 1 << frac_bits
+    cmp_bits = frac_bits + 8
+
+    m = max_gadget(cs, list(x_wires), cmp_bits, f"{name}-max")
+
+    exp_results = []
+    for idx, xw in enumerate(x_wires):
+        shifted_val = (cs.value(xw) - cs.value(m)) % R
+        shifted = cs.alloc(f"{name}-shift[{idx}]", shifted_val)
+        cs.enforce_equal(
+            LC.from_wire(shifted),
+            LC.from_wire(xw) - LC.from_wire(m),
+            label=f"{name}-shift[{idx}]-def",
+        )
+        exp_results.append(
+            exp_gadget(
+                cs, shifted, frac_bits, iters, clip_t, f"{name}-exp[{idx}]"
+            )
+        )
+    exp_wires = [er.out for er in exp_results]
+
+    sum_val = sum(cs.value(w) for w in exp_wires) % R
+    total = cs.alloc(f"{name}-sum", sum_val)
+    cs.enforce_equal(
+        LC([(w, 1, 0) for w in exp_wires]),
+        LC.from_wire(total),
+        label=f"{name}-sum-def",
+    )
+    if sum_val == 0:
+        raise ValueError("softmax sum underflowed to zero; raise frac_bits")
+
+    sum_bits = max(sum_val.bit_length() + 1, frac_bits + 2)
+    outputs = []
+    for idx, ew in enumerate(exp_wires):
+        e_val = cs.value(ew)
+        out_val = (e_val * scale) // sum_val
+        rem_val = e_val * scale - out_val * sum_val
+        out = cs.alloc(f"{name}-out[{idx}]", out_val)
+        rem = cs.alloc(f"{name}-rem[{idx}]", rem_val)
+        # out * sum == e * scale - rem
+        cs.enforce(
+            LC.from_wire(out),
+            LC.from_wire(total),
+            LC.from_wire(ew).scale(scale) - LC.from_wire(rem),
+            label=f"{name}-div[{idx}]",
+        )
+        bit_decompose(cs, rem, sum_bits, f"{name}-rem[{idx}]")
+        # rem < sum  <=>  sum - 1 - rem >= 0
+        slack_val = (sum_val - 1 - rem_val) % R
+        slack = cs.alloc(f"{name}-slack[{idx}]", slack_val)
+        cs.enforce_equal(
+            LC.from_wire(slack),
+            LC.from_wire(total) - LC.constant(1) - LC.from_wire(rem),
+            label=f"{name}-slack[{idx}]-def",
+        )
+        bit_decompose(cs, slack, sum_bits, f"{name}-slack[{idx}]")
+        bit_decompose(cs, out, frac_bits + 2, f"{name}-out[{idx}]")
+        outputs.append(out)
+
+    return SoftmaxResult(outputs=outputs, max_wire=m, exp_wires=exp_wires)
+
+
+def gelu_gadget(
+    cs: ConstraintSystem,
+    x_wire: int,
+    frac_bits: int,
+    magnitude_bits: int = 8,
+    name: str = "gelu",
+) -> int:
+    """The paper's GELU polynomial: ``x^2/8 + x/4 + 1/2`` in fixed point.
+
+    One verified multiplication (the square) plus one rescale; the /8, /4
+    and +1/2 fold into constants.  Returns the output wire
+    (~ ``2^frac_bits * gelu(x)``).
+    """
+    scale = 1 << frac_bits
+    x_val = field_to_signed(cs.value(x_wire))
+
+    sq_val = x_val * x_val % R
+    sq = cs.alloc(f"{name}-sq", sq_val)
+    cs.enforce(
+        LC.from_wire(x_wire),
+        LC.from_wire(x_wire),
+        LC.from_wire(sq),
+        label=f"{name}-sq",
+    )
+    # x^2 is scale^2-scaled and non-negative; divide by (8 * scale) to get
+    # the scale-scaled x^2/8 term.
+    q = rescale_gadget(
+        cs, sq, frac_bits + 3, 2 * magnitude_bits + frac_bits, f"{name}-q"
+    )
+    out_val = (cs.value(q) + x_val // 4 + scale // 2) % R
+    # x/4 in fixed point: exact only when x is a multiple of 4; use a signed
+    # rescale-free encoding: out*4 = 4*q + x + 2*scale  (folds the floor
+    # into the statement, erring <= 1 LSB like the float-side quantiser).
+    out = cs.alloc(f"{name}-out", out_val)
+    rem_val = (4 * cs.value(q) + x_val + 2 * scale - 4 * field_to_signed(out_val)) % R
+    rem = cs.alloc(f"{name}-rem", rem_val)
+    cs.enforce_equal(
+        LC.from_wire(out).scale(4) + LC.from_wire(rem),
+        LC.from_wire(q).scale(4) + LC.from_wire(x_wire) + LC.constant(2 * scale),
+        label=f"{name}-out-def",
+    )
+    bit_decompose(cs, rem, 2, f"{name}-rem")
+    return out
+
+
+def softmax_reference(xs: Sequence[float]) -> List[float]:
+    m = max(xs)
+    es = [math.exp(x - m) for x in xs]
+    s = sum(es)
+    return [e / s for e in es]
+
+
+def gelu_reference(x: float) -> float:
+    return 0.5 * x * (
+        1.0 + math.tanh(math.sqrt(2.0 / math.pi) * (x + 0.044715 * x ** 3))
+    )
+
+
+def gelu_poly_reference(x: float) -> float:
+    """The paper's polynomial approximation, in floats."""
+    return x * x / 8.0 + x / 4.0 + 0.5

@@ -1,0 +1,18 @@
+"""Groth16 zk-SNARK backend (pairing-based, trusted setup)."""
+
+from .batch import batch_verify
+from .keys import Groth16Keypair, Proof, ProvingKey, VerifyingKey
+from .prove import prove
+from .setup import setup
+from .verify import verify
+
+__all__ = [
+    "Groth16Keypair",
+    "batch_verify",
+    "Proof",
+    "ProvingKey",
+    "VerifyingKey",
+    "prove",
+    "setup",
+    "verify",
+]

@@ -1,0 +1,84 @@
+"""Key and proof containers for the Groth16 backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..curve.bn254 import AffinePoint, point_to_bytes
+
+
+@dataclass
+class ProvingKey:
+    """CRS elements the prover needs.
+
+    For zkVC's packed circuits the CRPC indeterminate ``zeta`` is part of the
+    toxic waste: the wire evaluations baked into these elements already
+    include the ``zeta^d`` monomial factors, so proving is *identical* to
+    vanilla Groth16 (the packing is free at proof time).
+    """
+
+    alpha_g1: AffinePoint
+    beta_g1: AffinePoint
+    beta_g2: object
+    delta_g1: AffinePoint
+    delta_g2: object
+    # Per-wire queries (length == num_wires); entries are None when the wire
+    # polynomial evaluates to zero (wire absent from that side).
+    a_query: List[AffinePoint]
+    b_g1_query: List[AffinePoint]
+    b_g2_query: List[object]
+    # Witness-only combined query [(beta*u_i + alpha*v_i + w_i)/delta]_1,
+    # indexed from the first witness wire.
+    k_query: List[AffinePoint]
+    # Powers-of-tau-times-t(tau)/delta for the quotient polynomial.
+    h_query: List[AffinePoint]
+    num_public: int = 1
+    domain_size: int = 0
+
+    def size_bytes(self) -> int:
+        count_g1 = (
+            3
+            + sum(p is not None for p in self.a_query)
+            + sum(p is not None for p in self.b_g1_query)
+            + sum(p is not None for p in self.k_query)
+            + len(self.h_query)
+        )
+        count_g2 = 2 + sum(p is not None for p in self.b_g2_query)
+        return count_g1 * 64 + count_g2 * 128
+
+
+@dataclass
+class VerifyingKey:
+    alpha_g1: AffinePoint
+    beta_g2: object
+    gamma_g2: object
+    delta_g2: object
+    # IC elements for [1, public inputs...]
+    ic: List[AffinePoint] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return 64 * (1 + len(self.ic)) + 3 * 128
+
+
+@dataclass
+class Proof:
+    a: AffinePoint
+    b: object  # G2
+    c: AffinePoint
+
+    def to_bytes(self) -> bytes:
+        return (
+            point_to_bytes(self.a)
+            + point_to_bytes(self.b)
+            + point_to_bytes(self.c)
+        )
+
+    def size_bytes(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass
+class Groth16Keypair:
+    pk: ProvingKey
+    vk: VerifyingKey

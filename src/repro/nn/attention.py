@@ -1,0 +1,184 @@
+"""Token mixers (paper Sec. IV / Tables III-IV).
+
+* ``SoftmaxAttention``  — standard multi-head self-attention ("SoftApprox."
+  when combined with the approximated SoftMax at proving time).
+* ``ScalingAttention``  — SoftMax-free linear attention ("SoftFree-S"):
+  ``Q (K^T V) / t`` with learned output scaling; linear in sequence length.
+* ``PoolingMixer``      — MetaFormer-style average pooling ("SoftFree-P").
+* ``LinearMixer``       — learnable linear token mixing ("SoftFree-L",
+  the FNet-style linear-transformation module).
+
+Every mixer exposes ``mixer_name`` and ``proving_profile(tokens, dim)``
+describing the matmul shapes it needs at inference, which the zkML compiler
+uses for constraint accounting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .autograd import Tensor
+from .layers import Linear, Module
+
+MatmulShape = Tuple[int, int, int]  # (a, n, b) for Y[a,b] = X[a,n] W[n,b]
+
+
+class SoftmaxAttention(Module):
+    mixer_name = "softmax"
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator):
+        if dim % heads:
+            raise ValueError("heads must divide dim")
+        self.dim, self.heads = dim, heads
+        self.head_dim = dim // heads
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.proj = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, t, d = x.shape
+        h, hd = self.heads, self.head_dim
+        qkv = self.qkv(x)  # [b, t, 3d]
+        qkv = qkv.reshape(b, t, 3, h, hd)
+        qkv = qkv.transpose(1, 2).transpose(0, 1)  # [3, b, t, h, hd]
+        q = _select(qkv, 0).transpose(1, 2)
+        k = _select(qkv, 1).transpose(1, 2)
+        v = _select(qkv, 2).transpose(1, 2)
+        scores = (q @ k.transpose()) .scale(1.0 / hd ** 0.5)
+        att = scores.softmax(axis=-1)
+        mixed = att @ v  # [b, h, t, hd]
+        mixed = mixed.transpose(1, 2).reshape(b, t, d)
+        return self.proj(mixed)
+
+    def proving_profile(self, tokens: int, dim: int) -> List[MatmulShape]:
+        hd = self.head_dim
+        shapes: List[MatmulShape] = [(tokens, dim, 3 * dim)]  # qkv proj
+        for _ in range(self.heads):
+            shapes.append((tokens, hd, tokens))   # Q K^T
+            shapes.append((tokens, tokens, hd))   # att V
+        shapes.append((tokens, dim, dim))          # output proj
+        return shapes
+
+    @property
+    def softmax_rows(self) -> bool:
+        return True
+
+
+class ScalingAttention(Module):
+    mixer_name = "scaling"
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator):
+        if dim % heads:
+            raise ValueError("heads must divide dim")
+        self.dim, self.heads = dim, heads
+        self.head_dim = dim // heads
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.proj = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, t, d = x.shape
+        h, hd = self.heads, self.head_dim
+        qkv = self.qkv(x).reshape(b, t, 3, h, hd)
+        qkv = qkv.transpose(1, 2).transpose(0, 1)
+        q = _select(qkv, 0).transpose(1, 2)
+        k = _select(qkv, 1).transpose(1, 2)
+        v = _select(qkv, 2).transpose(1, 2)
+        # SoftMax-free: context = K^T V (d x d), out = Q context / t.
+        context = (k.transpose() @ v).scale(1.0 / t)
+        mixed = (q @ context).scale(1.0 / hd ** 0.5)
+        mixed = mixed.transpose(1, 2).reshape(b, t, d)
+        return self.proj(mixed)
+
+    def proving_profile(self, tokens: int, dim: int) -> List[MatmulShape]:
+        hd = self.head_dim
+        shapes: List[MatmulShape] = [(tokens, dim, 3 * dim)]
+        for _ in range(self.heads):
+            shapes.append((hd, tokens, hd))       # K^T V
+            shapes.append((tokens, hd, hd))       # Q context
+        shapes.append((tokens, dim, dim))
+        return shapes
+
+    @property
+    def softmax_rows(self) -> bool:
+        return False
+
+
+class PoolingMixer(Module):
+    mixer_name = "pooling"
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        # MetaFormer pooling: subtract input so the residual adds it back.
+        return x.mean(axis=1, keepdims=True) - x
+
+    def proving_profile(self, tokens: int, dim: int) -> List[MatmulShape]:
+        # Pooling is a linear combination: free in R1CS apart from the
+        # rescale; model it as one tall-thin matmul.
+        return [(1, tokens, dim)]
+
+    @property
+    def softmax_rows(self) -> bool:
+        return False
+
+
+class LinearMixer(Module):
+    mixer_name = "linear"
+
+    def __init__(self, dim: int, num_tokens: int, rng: np.random.Generator):
+        self.dim = dim
+        self.num_tokens = num_tokens
+        self.token_mix = Linear(num_tokens, num_tokens, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        # Mix along the token axis: transpose, linear, transpose back.
+        return self.token_mix(x.transpose(1, 2)).transpose(1, 2)
+
+    def proving_profile(self, tokens: int, dim: int) -> List[MatmulShape]:
+        return [(dim, tokens, tokens)]
+
+    @property
+    def softmax_rows(self) -> bool:
+        return False
+
+
+def _select(t: Tensor, index: int) -> Tensor:
+    """Select t[index] along axis 0, keeping gradients flowing."""
+    data = t.data[index]
+
+    def backward(g):
+        if t.requires_grad:
+            full = np.zeros_like(t.data)
+            full[index] = g
+            t._accumulate(full)
+
+    out = Tensor(data)
+    if t.requires_grad:
+        out.requires_grad = True
+        out._parents = (t,)
+        out._backward = backward
+    return out
+
+
+MIXER_CLASSES = {
+    "softmax": SoftmaxAttention,
+    "scaling": ScalingAttention,
+    "pooling": PoolingMixer,
+    "linear": LinearMixer,
+}
+
+
+def make_mixer(
+    name: str, dim: int, heads: int, num_tokens: int, rng: np.random.Generator
+) -> Module:
+    if name == "softmax":
+        return SoftmaxAttention(dim, heads, rng)
+    if name == "scaling":
+        return ScalingAttention(dim, heads, rng)
+    if name == "pooling":
+        return PoolingMixer(dim, rng)
+    if name == "linear":
+        return LinearMixer(dim, num_tokens, rng)
+    raise ValueError(f"unknown mixer {name!r}")

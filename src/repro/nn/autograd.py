@@ -1,0 +1,265 @@
+"""Minimal reverse-mode autograd over numpy arrays.
+
+Just enough machinery to train the paper's small Transformer variants on the
+synthetic datasets: tensors wrap ``numpy`` arrays, ops record a backward
+closure, and :meth:`Tensor.backward` runs the tape in reverse topological
+order.  No broadcasting surprises: gradients are unbroadcast back to the
+input shapes explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum out broadcast dimensions so ``grad`` matches ``shape``."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A node in the autograd graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # -- graph plumbing ---------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def _make(self, data, parents, backward) -> "Tensor":
+        out = Tensor(data)
+        if any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad needs a scalar")
+            grad = np.ones_like(self.data)
+        # Topological order via DFS.
+        order: List[Tensor] = []
+        seen = set()
+
+        def visit(t: "Tensor") -> None:
+            if id(t) in seen or not t.requires_grad:
+                return
+            seen.add(id(t))
+            for p in t._parents:
+                visit(p)
+            order.append(t)
+
+        visit(self)
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # -- operations ------------------------------------------------------------
+    def __add__(self, other: "Tensor") -> "Tensor":
+        other = _ensure(other)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g, other.shape))
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    def __sub__(self, other: "Tensor") -> "Tensor":
+        other = _ensure(other)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-g, other.shape))
+
+        return self._make(self.data - other.data, (self, other), backward)
+
+    def __mul__(self, other: "Tensor") -> "Tensor":
+        other = _ensure(other)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g * self.data, other.shape))
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = _ensure(other)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(
+                    _unbroadcast(g @ np.swapaxes(other.data, -1, -2), self.shape)
+                )
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(np.swapaxes(self.data, -1, -2) @ g, other.shape)
+                )
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def transpose(self, axis1: int = -2, axis2: int = -1) -> "Tensor":
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(g, axis1, axis2))
+
+        return self._make(
+            np.swapaxes(self.data, axis1, axis2), (self,), backward
+        )
+
+    def reshape(self, *shape) -> "Tensor":
+        old = self.data.shape
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g.reshape(old))
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def mean(self, axis: int, keepdims: bool = True) -> "Tensor":
+        n = self.data.shape[axis]
+
+        def backward(g):
+            if self.requires_grad:
+                gg = g if keepdims else np.expand_dims(g, axis)
+                self._accumulate(
+                    np.broadcast_to(gg / n, self.data.shape).copy()
+                )
+
+        return self._make(
+            self.data.mean(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        x = self.data
+        c = math.sqrt(2.0 / math.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        out = 0.5 * x * (1.0 + t)
+
+        def backward(g):
+            if self.requires_grad:
+                dt = (1 - t ** 2) * c * (1 + 3 * 0.044715 * x ** 2)
+                self._accumulate(g * (0.5 * (1 + t) + 0.5 * x * dt))
+
+        return self._make(out, (self,), backward)
+
+    def gelu_poly(self) -> "Tensor":
+        """The paper's ZKP-friendly GELU: x^2/8 + x/4 + 1/2."""
+        x = self.data
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * (x / 4.0 + 0.25))
+
+        return self._make(x * x / 8.0 + x / 4.0 + 0.5, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        out = e / e.sum(axis=axis, keepdims=True)
+
+        def backward(g):
+            if self.requires_grad:
+                dot = (g * out).sum(axis=axis, keepdims=True)
+                self._accumulate(out * (g - dot))
+
+        return self._make(out, (self,), backward)
+
+    def layernorm(self, eps: float = 1e-5) -> "Tensor":
+        mu = self.data.mean(axis=-1, keepdims=True)
+        var = self.data.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + eps)
+        xhat = (self.data - mu) * inv
+        d = self.data.shape[-1]
+
+        def backward(g):
+            if self.requires_grad:
+                gm = g.mean(axis=-1, keepdims=True)
+                gx = (g * xhat).mean(axis=-1, keepdims=True)
+                self._accumulate(inv * (g - gm - xhat * gx))
+
+        return self._make(xhat, (self,), backward)
+
+    def scale(self, factor: float) -> "Tensor":
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * factor)
+
+        return self._make(self.data * factor, (self,), backward)
+
+    def sum(self) -> "Tensor":
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+
+        return self._make(self.data.sum(), (self,), backward)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.data.shape}, grad={self.requires_grad})"
+
+
+def _ensure(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy over a batch; labels are int class indices."""
+    probs_t = logits.softmax(axis=-1)
+    probs = probs_t.data
+    n = probs.shape[0]
+    eps = 1e-12
+    loss_val = -np.log(probs[np.arange(n), labels] + eps).mean()
+
+    out = Tensor(loss_val)
+    if logits.requires_grad:
+        out.requires_grad = True
+        out._parents = (logits,)
+
+        def backward(g):
+            grad = probs.copy()
+            grad[np.arange(n), labels] -= 1.0
+            logits._accumulate(g * grad / n)
+
+        out._backward = backward
+    return out

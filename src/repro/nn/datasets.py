@@ -1,0 +1,186 @@
+"""Synthetic datasets standing in for CIFAR-10 / Tiny-ImageNet / ImageNet /
+GLUE (offline substitution; see DESIGN.md).
+
+Each task is constructed so *content-based token mixing* matters: labels
+depend on relations between tokens at arbitrary positions, which SoftMax
+attention resolves best, scaling (linear) attention approximately, and
+pooling/static-linear mixing only weakly — reproducing the accuracy ordering
+of the paper's Tables III and IV.
+
+Vision — "pair-pattern" images: two marked patches carry pattern ids; the
+label is ``(id_a + id_b) mod num_classes``.
+
+NLP — four GLUE-like token tasks (MNLI/QNLI/SST-2/MRPC analogues) over a
+small vocabulary.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class SplitData:
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+
+def _split(x: np.ndarray, y: np.ndarray, test_frac: float) -> SplitData:
+    n_test = max(1, int(len(x) * test_frac))
+    return SplitData(
+        train_x=x[:-n_test], train_y=y[:-n_test],
+        test_x=x[-n_test:], test_y=y[-n_test:],
+    )
+
+
+# -- vision -------------------------------------------------------------------
+
+def make_patch_retrieval_images(
+    num: int,
+    image_size: int = 16,
+    patch_size: int = 4,
+    num_classes: int = 8,
+    num_distractors: int = 11,
+    noise: float = 0.6,
+    marker: float = 2.0,
+    amplitude: float = 1.6,
+    seed: int = 0,
+    test_frac: float = 0.25,
+) -> SplitData:
+    """Marked-patch retrieval with distractors.
+
+    Exactly one patch carries a marker column; its two-stripe pattern encodes
+    the label.  ``num_distractors`` unmarked patches carry random patterns,
+    so pooled/static mixing drowns in distractor signal while content-based
+    attention retrieves the marked token — this is what separates the mixers
+    the way the paper's Table III does.
+    """
+    rng = np.random.default_rng(seed)
+    grid = image_size // patch_size
+    n_tokens = grid * grid
+    if num_distractors + 1 > n_tokens:
+        raise ValueError("too many distractors for the token grid")
+    xs = rng.normal(0.0, noise, size=(num, image_size, image_size))
+    ys = np.zeros(num, dtype=np.int64)
+    for idx in range(num):
+        positions = rng.choice(n_tokens, size=num_distractors + 1,
+                               replace=False)
+        ys[idx] = int(rng.integers(num_classes))
+        for pi, pos in enumerate(positions):
+            pid = ys[idx] if pi == 0 else int(rng.integers(num_classes))
+            r, c = divmod(int(pos), grid)
+            r0, c0 = r * patch_size, c * patch_size
+            xs[idx, r0 + pid % patch_size, c0:c0 + patch_size] += amplitude
+            xs[idx, r0 + (pid // patch_size) % patch_size,
+               c0:c0 + patch_size] += amplitude * 0.5
+            if pi == 0:
+                xs[idx, r0:r0 + patch_size, c0] += marker
+    return _split(xs, ys, test_frac)
+
+
+VISION_PRESETS = {
+    # Difficulty scales with the paper's datasets: CIFAR-10 (easiest) ->
+    # Tiny-ImageNet -> ImageNet (hardest, most tokens).
+    "cifar10": dict(image_size=16, patch_size=4, num_classes=8,
+                    num_distractors=9, noise=0.5),
+    "tiny-imagenet": dict(image_size=16, patch_size=4, num_classes=8,
+                          num_distractors=11, noise=0.6),
+    "imagenet": dict(image_size=24, patch_size=4, num_classes=8,
+                     num_distractors=18, noise=0.7),
+}
+
+
+def make_vision_dataset(preset: str, num: int, seed: int = 0) -> SplitData:
+    if preset not in VISION_PRESETS:
+        raise ValueError(f"unknown vision preset {preset!r}")
+    return make_patch_retrieval_images(num, seed=seed,
+                                       **VISION_PRESETS[preset])
+
+
+# -- NLP ----------------------------------------------------------------------
+
+NLP_TASKS = ("mnli", "qnli", "sst2", "mrpc")
+
+
+def make_nlp_task(
+    task: str,
+    num: int,
+    seq_len: int = 16,
+    vocab: int = 24,
+    seed: int = 0,
+    test_frac: float = 0.25,
+) -> Tuple[SplitData, int]:
+    """Token-sequence analogues of the paper's GLUE tasks.
+
+    Returns ``(split, num_classes)``.  Content tokens occupy ids
+    ``[4, vocab)``; ids 0-3 are reserved (pad/sep/probe/marker).
+    """
+    # zlib.crc32 rather than hash(): the latter is salted per process and
+    # would make datasets irreproducible across runs.
+    rng = np.random.default_rng(seed + zlib.crc32(task.encode()) % 1000)
+    half = seq_len // 2
+    xs = rng.integers(4, vocab, size=(num, seq_len))
+    ys = np.zeros(num, dtype=np.int64)
+
+    if task == "mnli":
+        # 3-way relation between the two segments' dominant tokens:
+        # same token -> 0 (entail-ish), adjacent ids -> 1 (neutral-ish),
+        # otherwise -> 2 (contradict-ish).
+        num_classes = 3
+        for i in range(num):
+            ta = int(rng.integers(4, vocab))
+            tb_choice = int(rng.integers(3))
+            tb = ta if tb_choice == 0 else (
+                ta + 1 if tb_choice == 1 else ta + 2
+            )
+            tb = 4 + (tb - 4) % (vocab - 4)
+            xs[i, :half][rng.choice(half, size=half // 2, replace=False)] = ta
+            xs[i, half:][rng.choice(half, size=half // 2, replace=False)] = tb
+            xs[i, half - 1] = 1  # separator
+            ys[i] = tb_choice
+    elif task == "qnli":
+        # Does segment B contain segment A's probe token?
+        num_classes = 2
+        for i in range(num):
+            probe = int(rng.integers(4, vocab))
+            xs[i, 0] = 2           # probe marker
+            xs[i, 1] = probe
+            contains = int(rng.integers(2))
+            if contains:
+                xs[i, half + int(rng.integers(seq_len - half))] = probe
+            else:
+                seg = xs[i, half:]
+                seg[seg == probe] = (probe - 4 + 1) % (vocab - 4) + 4
+            ys[i] = contains
+    elif task == "sst2":
+        # Majority sentiment: even content ids positive, odd negative.
+        num_classes = 2
+        for i in range(num):
+            pos = int((xs[i] % 2 == 0).sum())
+            neg = seq_len - pos
+            if pos == neg:  # break ties deterministically
+                xs[i, 0] = 4
+                pos += 1 if xs[i, 0] % 2 == 0 else 0
+            ys[i] = int(pos > neg)
+    elif task == "mrpc":
+        # Is the second half a permutation of the first half?
+        num_classes = 2
+        for i in range(num):
+            match = int(rng.integers(2))
+            if match:
+                xs[i, half:] = rng.permutation(xs[i, :half])
+            else:
+                j = int(rng.integers(half))
+                xs[i, half:] = rng.permutation(xs[i, :half])
+                xs[i, half + j] = int(rng.integers(4, vocab))
+            ys[i] = match
+    else:
+        raise ValueError(f"unknown NLP task {task!r}")
+
+    return _split(xs, ys, test_frac), num_classes

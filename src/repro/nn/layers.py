@@ -1,0 +1,142 @@
+"""Basic neural-network modules on the autograd engine.
+
+Float path (training) only; the quantised integer inference path that gets
+compiled to ZKP circuits lives in :mod:`repro.zkml.quantized` and shares
+these modules' weights.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .autograd import Tensor
+
+
+class Module:
+    """Base class: parameter collection + pythonic call syntax."""
+
+    def parameters(self) -> List[Tensor]:
+        params: List[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        scale = (2.0 / (in_dim + out_dim)) ** 0.5
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(in_dim, out_dim)), requires_grad=True
+        )
+        self.bias = Tensor(np.zeros(out_dim), requires_grad=True)
+        self.in_dim, self.out_dim = in_dim, out_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class LayerNorm(Module):
+    def __init__(self, dim: int):
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.layernorm() * self.gamma + self.beta
+
+
+class MLP(Module):
+    """Transformer feed-forward block; activation is either exact GELU or
+    the paper's ZKP-friendly polynomial."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden: int,
+        rng: np.random.Generator,
+        poly_gelu: bool = False,
+    ):
+        self.fc1 = Linear(dim, hidden, rng)
+        self.fc2 = Linear(hidden, dim, rng)
+        self.poly_gelu = poly_gelu
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.fc1(x)
+        h = h.gelu_poly() if self.poly_gelu else h.gelu()
+        return self.fc2(h)
+
+
+class Embedding(Module):
+    """Token embedding via one-hot matmul (small vocabularies only)."""
+
+    def __init__(self, vocab: int, dim: int, rng: np.random.Generator):
+        self.table = Tensor(
+            rng.normal(0.0, 0.5, size=(vocab, dim)), requires_grad=True
+        )
+        self.vocab = vocab
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        onehot = np.eye(self.vocab)[ids]
+        return Tensor(onehot) @ self.table
+
+
+class PatchEmbed(Module):
+    """Split [B, H, W] images into non-overlapping patches, project to dim."""
+
+    def __init__(
+        self, image_size: int, patch_size: int, dim: int,
+        rng: np.random.Generator,
+    ):
+        if image_size % patch_size:
+            raise ValueError("patch size must divide image size")
+        self.patch_size = patch_size
+        self.grid = image_size // patch_size
+        self.num_tokens = self.grid * self.grid
+        self.proj = Linear(patch_size * patch_size, dim, rng)
+
+    def patches(self, images: np.ndarray) -> np.ndarray:
+        b, h, w = images.shape
+        p, g = self.patch_size, self.grid
+        x = images.reshape(b, g, p, g, p).transpose(0, 1, 3, 2, 4)
+        return x.reshape(b, g * g, p * p)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        return self.proj(Tensor(self.patches(images)))
+
+
+def sgd_step(
+    params: Iterable[Tensor],
+    velocities: List[np.ndarray],
+    lr: float,
+    momentum: float = 0.9,
+    clip: float = 5.0,
+) -> None:
+    """In-place SGD with momentum and global-norm clipping."""
+    params = list(params)
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad ** 2).sum())
+    norm = total ** 0.5
+    factor = min(1.0, clip / (norm + 1e-12))
+    for p, v in zip(params, velocities):
+        if p.grad is None:
+            continue
+        v *= momentum
+        v += p.grad * factor
+        p.data -= lr * v
+        p.grad = None

@@ -1,0 +1,71 @@
+"""NITI-style power-of-two quantisation (paper Sec. IV, ref [42]).
+
+Weights/activations are mapped to integers at scale ``2^frac_bits``; all
+verifiable inference runs on these integers, and every rescale matches the
+floor-division semantics of :func:`repro.gadgets.fixedpoint.rescale_gadget`
+so the circuit and the numpy "reference prover" agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+DEFAULT_FRAC_BITS = 8
+
+
+@dataclass
+class QuantizedTensor:
+    """Integer tensor + scale exponent: real value = values / 2^frac_bits."""
+
+    values: np.ndarray  # int64
+    frac_bits: int
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.frac_bits
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(np.float64) / self.scale
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.int64)
+
+
+def quantize(
+    x: np.ndarray, frac_bits: int = DEFAULT_FRAC_BITS, clip_bits: int = 16
+) -> QuantizedTensor:
+    """Round to fixed point, clipping magnitude to ``2^clip_bits - 1``."""
+    scale = 1 << frac_bits
+    q = np.rint(np.asarray(x, dtype=np.float64) * scale).astype(np.int64)
+    limit = (1 << clip_bits) - 1
+    return QuantizedTensor(np.clip(q, -limit, limit), frac_bits)
+
+
+def dequantize(q: QuantizedTensor) -> np.ndarray:
+    return q.dequantize()
+
+
+def requantize(values: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Floor-divide a double-scale product back to single scale.
+
+    Matches the circuit's biased floor division for negative inputs
+    (numpy's ``//`` also floors toward -inf, so they agree).
+    """
+    return np.asarray(values, dtype=np.int64) >> frac_bits
+
+
+def int_matmul_rescale(
+    x: np.ndarray, w: np.ndarray, frac_bits: int
+) -> np.ndarray:
+    """Quantised matmul: integer product then rescale to single scale."""
+    prod = x.astype(np.int64) @ w.astype(np.int64)
+    return requantize(prod, frac_bits)
+
+
+def quantization_error(x: np.ndarray, frac_bits: int) -> float:
+    """Max absolute error introduced by quantising ``x``."""
+    q = quantize(x, frac_bits)
+    return float(np.max(np.abs(q.dequantize() - x)))

@@ -1,0 +1,69 @@
+"""Training loop for the synthetic accuracy experiments (Tables III-IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .autograd import Tensor, cross_entropy
+from .datasets import SplitData
+from .layers import Module, sgd_step
+
+
+@dataclass
+class TrainResult:
+    train_acc: float
+    test_acc: float
+    losses: List[float]
+
+
+def evaluate(model: Module, xs: np.ndarray, ys: np.ndarray,
+             batch_size: int = 64) -> float:
+    correct = 0
+    for start in range(0, len(xs), batch_size):
+        batch = xs[start:start + batch_size]
+        logits = model(batch).data
+        correct += int((logits.argmax(axis=-1) == ys[start:start + batch_size]).sum())
+    return correct / len(xs)
+
+
+def train_model(
+    model: Module,
+    data: SplitData,
+    epochs: int = 10,
+    batch_size: int = 32,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    lr_decay: float = 0.85,
+    seed: int = 0,
+    log: Optional[Callable[[str], None]] = None,
+) -> TrainResult:
+    """Plain SGD-with-momentum training on a synthetic split."""
+    rng = np.random.default_rng(seed)
+    params = model.parameters()
+    velocities = [np.zeros_like(p.data) for p in params]
+    losses: List[float] = []
+    cur_lr = lr
+    for epoch in range(epochs):
+        order = rng.permutation(len(data.train_x))
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, len(order), batch_size):
+            idx = order[start:start + batch_size]
+            logits = model(data.train_x[idx])
+            loss = cross_entropy(logits, data.train_y[idx])
+            loss.backward()
+            sgd_step(params, velocities, cur_lr, momentum)
+            epoch_loss += float(loss.data)
+            batches += 1
+        losses.append(epoch_loss / max(1, batches))
+        cur_lr *= lr_decay
+        if log is not None:
+            log(f"epoch {epoch}: loss={losses[-1]:.4f}")
+    return TrainResult(
+        train_acc=evaluate(model, data.train_x, data.train_y),
+        test_acc=evaluate(model, data.test_x, data.test_y),
+        losses=losses,
+    )

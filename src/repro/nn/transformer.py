@@ -1,0 +1,230 @@
+"""Transformer models: ViT variants, hierarchical MetaFormer, BERT-small.
+
+Each model carries a per-layer *mixer plan* (list of mixer names) so the
+paper's four variants are just plans:
+
+* SoftApprox.  -> ``["softmax"] * L``
+* SoftFree-S   -> ``["scaling"] * L``
+* SoftFree-P   -> ``["pooling"] * L``
+* SoftFree-L   -> ``["linear"] * L``
+* zkVC         -> hybrid plan from :class:`repro.core.planner.MixerPlanner`
+
+``paper_config`` objects describe the full-size architectures used for
+constraint accounting and cost modelling; ``build_*`` functions construct
+small trainable instances for the synthetic-dataset accuracy columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .attention import MIXER_CLASSES, MatmulShape, make_mixer
+from .autograd import Tensor
+from .layers import Embedding, LayerNorm, Linear, MLP, Module, PatchEmbed
+
+
+@dataclass
+class StageConfig:
+    layers: int
+    dim: int
+    tokens: int
+    heads: int
+
+
+@dataclass
+class ModelConfig:
+    """Architecture description, decoupled from weights."""
+
+    name: str
+    stages: List[StageConfig]
+    num_classes: int
+    mlp_ratio: int = 4
+
+    @property
+    def total_layers(self) -> int:
+        return sum(s.layers for s in self.stages)
+
+    def layer_specs(self) -> List[StageConfig]:
+        """One entry per transformer layer (stage config repeated)."""
+        out: List[StageConfig] = []
+        for s in self.stages:
+            out.extend([s] * s.layers)
+        return out
+
+
+# -- The paper's architectures (Sec. IV) -------------------------------------
+
+def vit_cifar_config() -> ModelConfig:
+    """ViT on CIFAR-10: 7 layers, 4 heads, dim 256, patch 4 (32x32 -> 64
+    tokens)."""
+    return ModelConfig(
+        "vit-cifar10",
+        [StageConfig(layers=7, dim=256, tokens=64, heads=4)],
+        num_classes=10,
+    )
+
+
+def vit_tiny_imagenet_config() -> ModelConfig:
+    """Tiny-ImageNet: 9 layers, 12 heads, dim 192, patch 4 (64x64 -> 256
+    tokens)."""
+    return ModelConfig(
+        "vit-tiny-imagenet",
+        [StageConfig(layers=9, dim=192, tokens=256, heads=12)],
+        num_classes=200,
+    )
+
+
+def metaformer_imagenet_config() -> ModelConfig:
+    """Hierarchical 12-layer, 4-stage model with dims 64/128/320/512
+    (224x224, patch 4 -> 3136 tokens at stage 1, /4 per stage)."""
+    return ModelConfig(
+        "metaformer-imagenet",
+        [
+            StageConfig(layers=3, dim=64, tokens=3136, heads=1),
+            StageConfig(layers=3, dim=128, tokens=784, heads=2),
+            StageConfig(layers=3, dim=320, tokens=196, heads=5),
+            StageConfig(layers=3, dim=512, tokens=49, heads=8),
+        ],
+        num_classes=1000,
+    )
+
+
+def bert_small_config() -> ModelConfig:
+    """NLP model: 4 layers, 4 heads, dim 256 (paper's GLUE model)."""
+    return ModelConfig(
+        "bert-small",
+        [StageConfig(layers=4, dim=256, tokens=128, heads=4)],
+        num_classes=2,
+    )
+
+
+PAPER_CONFIGS = {
+    "cifar10": vit_cifar_config,
+    "tiny-imagenet": vit_tiny_imagenet_config,
+    "imagenet": metaformer_imagenet_config,
+    "bert": bert_small_config,
+}
+
+
+# -- Trainable model -----------------------------------------------------------
+
+class TransformerBlock(Module):
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        tokens: int,
+        mixer: str,
+        mlp_ratio: int,
+        rng: np.random.Generator,
+        poly_gelu: bool = False,
+    ):
+        self.norm1 = LayerNorm(dim)
+        self.mixer = make_mixer(mixer, dim, heads, tokens, rng)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = MLP(dim, dim * mlp_ratio, rng, poly_gelu=poly_gelu)
+        self.mixer_name = mixer
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.mixer(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class Transformer(Module):
+    """A single-stage transformer classifier over pre-embedded tokens."""
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        tokens: int,
+        num_classes: int,
+        mixer_plan: Sequence[str],
+        rng: np.random.Generator,
+        mlp_ratio: int = 2,
+        poly_gelu: bool = False,
+    ):
+        self.blocks = [
+            TransformerBlock(
+                dim, heads, tokens, mixer, mlp_ratio, rng, poly_gelu
+            )
+            for mixer in mixer_plan
+        ]
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng)
+        self.mixer_plan = list(mixer_plan)
+        self.dim, self.tokens = dim, tokens
+
+    def forward(self, x: Tensor) -> Tensor:
+        for block in self.blocks:
+            x = block(x)
+        x = self.norm(x)
+        pooled = x.mean(axis=1, keepdims=False)
+        return self.head(pooled)
+
+
+class VisionTransformer(Module):
+    def __init__(
+        self,
+        image_size: int,
+        patch_size: int,
+        dim: int,
+        heads: int,
+        num_classes: int,
+        mixer_plan: Sequence[str],
+        rng: np.random.Generator,
+        mlp_ratio: int = 2,
+        poly_gelu: bool = False,
+    ):
+        self.embed = PatchEmbed(image_size, patch_size, dim, rng)
+        tokens = self.embed.num_tokens
+        self.pos = Tensor(
+            rng.normal(0.0, 0.02, size=(1, tokens, dim)), requires_grad=True
+        )
+        self.encoder = Transformer(
+            dim, heads, tokens, num_classes, mixer_plan, rng,
+            mlp_ratio, poly_gelu,
+        )
+        self.mixer_plan = list(mixer_plan)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        x = self.embed(images) + self.pos
+        return self.encoder(x)
+
+
+class TextTransformer(Module):
+    def __init__(
+        self,
+        vocab: int,
+        seq_len: int,
+        dim: int,
+        heads: int,
+        num_classes: int,
+        mixer_plan: Sequence[str],
+        rng: np.random.Generator,
+        mlp_ratio: int = 2,
+        poly_gelu: bool = False,
+    ):
+        self.embed = Embedding(vocab, dim, rng)
+        self.pos = Tensor(
+            rng.normal(0.0, 0.02, size=(1, seq_len, dim)), requires_grad=True
+        )
+        self.encoder = Transformer(
+            dim, heads, seq_len, num_classes, mixer_plan, rng,
+            mlp_ratio, poly_gelu,
+        )
+        self.mixer_plan = list(mixer_plan)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        x = self.embed(ids) + self.pos
+        return self.encoder(x)
+
+
+def uniform_plan(mixer: str, layers: int) -> List[str]:
+    if mixer not in MIXER_CLASSES:
+        raise ValueError(f"unknown mixer {mixer!r}")
+    return [mixer] * layers

@@ -1,0 +1,15 @@
+"""Polynomials over the BN254 scalar field: dense univariate + multilinear."""
+
+from .dense import Poly, lagrange_coeffs_at, lagrange_interpolate, vanishing_poly
+from .multilinear import MultilinearPoly, eq_eval, eq_evals, index_bits
+
+__all__ = [
+    "MultilinearPoly",
+    "Poly",
+    "eq_eval",
+    "eq_evals",
+    "index_bits",
+    "lagrange_coeffs_at",
+    "lagrange_interpolate",
+    "vanishing_poly",
+]

@@ -1,0 +1,181 @@
+"""Dense univariate polynomials over the BN254 scalar field.
+
+Coefficients are raw ints mod ``Fr`` in ascending-degree order.  The class is
+used by the QAP compiler, the CRPC packing transform, and tests; hot loops in
+the Groth16 prover use the NTT helpers directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..field.ntt import mul_polys_ntt
+from ..field.prime_field import BN254_FR_MODULUS, batch_inv_mod, inv_mod
+
+R = BN254_FR_MODULUS
+
+
+def _trim(coeffs: List[int]) -> List[int]:
+    while coeffs and coeffs[-1] == 0:
+        coeffs.pop()
+    return coeffs
+
+
+class Poly:
+    """Immutable dense polynomial; ``Poly([a0, a1, a2])`` is a0+a1*X+a2*X^2."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Sequence[int] = ()):
+        self.coeffs = tuple(_trim([c % R for c in coeffs]))
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "Poly":
+        return cls(())
+
+    @classmethod
+    def one(cls) -> "Poly":
+        return cls((1,))
+
+    @classmethod
+    def monomial(cls, degree: int, coeff: int = 1) -> "Poly":
+        return cls([0] * degree + [coeff])
+
+    @property
+    def degree(self) -> int:
+        """Degree; the zero polynomial reports -1."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    # -- ring operations -----------------------------------------------------
+    def __add__(self, other: "Poly") -> "Poly":
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = list(a)
+        for i, c in enumerate(b):
+            out[i] = (out[i] + c) % R
+        return Poly(out)
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        out = list(self.coeffs) + [0] * max(0, len(other.coeffs) - len(self.coeffs))
+        for i, c in enumerate(other.coeffs):
+            out[i] = (out[i] - c) % R
+        return Poly(out)
+
+    def __neg__(self) -> "Poly":
+        return Poly([-c % R for c in self.coeffs])
+
+    def __mul__(self, other) -> "Poly":
+        if isinstance(other, int):
+            return Poly([c * other % R for c in self.coeffs])
+        if self.is_zero() or other.is_zero():
+            return Poly.zero()
+        if len(self.coeffs) * len(other.coeffs) <= 256:
+            out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+            for i, a in enumerate(self.coeffs):
+                if a == 0:
+                    continue
+                for j, b in enumerate(other.coeffs):
+                    out[i + j] = (out[i + j] + a * b) % R
+            return Poly(out)
+        return Poly(mul_polys_ntt(self.coeffs, other.coeffs))
+
+    __rmul__ = __mul__
+
+    def divmod(self, divisor: "Poly") -> Tuple["Poly", "Poly"]:
+        """Long division; returns (quotient, remainder)."""
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        rem = list(self.coeffs)
+        dcoe = divisor.coeffs
+        dd = divisor.degree
+        lead_inv = inv_mod(dcoe[-1], R)
+        quot = [0] * max(0, len(rem) - dd)
+        for shift in range(len(rem) - dd - 1, -1, -1):
+            factor = rem[dd + shift] * lead_inv % R
+            if factor:
+                quot[shift] = factor
+                for i, dc in enumerate(dcoe):
+                    rem[shift + i] = (rem[shift + i] - factor * dc) % R
+        return Poly(quot), Poly(rem[:dd])
+
+    def __floordiv__(self, divisor: "Poly") -> "Poly":
+        return self.divmod(divisor)[0]
+
+    def __mod__(self, divisor: "Poly") -> "Poly":
+        return self.divmod(divisor)[1]
+
+    # -- evaluation ----------------------------------------------------------
+    def __call__(self, x: int) -> int:
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = (acc * x + c) % R
+        return acc
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Poly) and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash(self.coeffs)
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "Poly(0)"
+        terms = [
+            f"{c}*X^{i}" if i else str(c)
+            for i, c in enumerate(self.coeffs)
+            if c
+        ]
+        return "Poly(" + " + ".join(terms) + ")"
+
+
+def lagrange_interpolate(xs: Sequence[int], ys: Sequence[int]) -> Poly:
+    """Unique polynomial of degree < len(xs) through the given points."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(set(x % R for x in xs)) != len(xs):
+        raise ValueError("interpolation points must be distinct")
+    result = Poly.zero()
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        if yi % R == 0:
+            continue
+        basis = Poly.one()
+        denom = 1
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            basis = basis * Poly([-xj % R, 1])
+            denom = denom * (xi - xj) % R
+        result = result + basis * (yi * inv_mod(denom, R) % R)
+    return result
+
+
+def vanishing_poly(size: int) -> Poly:
+    """``X^size - 1``: the vanishing polynomial of a radix-2 domain."""
+    return Poly([-1 % R] + [0] * (size - 1) + [1])
+
+
+def lagrange_coeffs_at(domain_size: int, omega: int, point: int) -> List[int]:
+    """All Lagrange-basis values ``L_q(point)`` for the multiplicative domain
+    ``{omega^q}`` in O(N) — the core of the Groth16 trusted setup.
+
+    Uses ``L_q(x) = omega^q * (x^N - 1) / (N * (x - omega^q))``.
+    """
+    zx = (pow(point, domain_size, R) - 1) % R
+    n_inv = inv_mod(domain_size, R)
+    powers = [1] * domain_size
+    for q in range(1, domain_size):
+        powers[q] = powers[q - 1] * omega % R
+    if zx == 0:
+        # point is in the domain: L_q is an indicator function.
+        return [1 if pw == point % R else 0 for pw in powers]
+    denoms = [(point - pw) % R for pw in powers]
+    inv_denoms = batch_inv_mod(denoms, R)
+    return [
+        pw * zx % R * n_inv % R * inv_d % R
+        for pw, inv_d in zip(powers, inv_denoms)
+    ]

@@ -1,0 +1,5 @@
+"""QAP lowering used by the Groth16 backend."""
+
+from .qap import QAPEvaluation, domain_size_for, evaluate_qap_at
+
+__all__ = ["QAPEvaluation", "domain_size_for", "evaluate_qap_at"]

@@ -1,0 +1,57 @@
+"""R1CS -> QAP lowering over a radix-2 evaluation domain.
+
+Constraint ``q`` maps to the domain point ``omega^q``.  The Groth16 setup
+only ever needs the wire polynomials *evaluated at the toxic point tau*, so
+rather than materialising full Lagrange interpolations we compute all
+``L_q(tau)`` in O(N) and accumulate sparse matrix entries into per-wire
+evaluations — this keeps setup quasi-linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..field.ntt import next_power_of_two
+from ..field.prime_field import BN254_FR_MODULUS, fr_root_of_unity
+from ..poly.dense import lagrange_coeffs_at
+from ..r1cs.system import R1CSInstance
+
+R = BN254_FR_MODULUS
+
+
+@dataclass
+class QAPEvaluation:
+    """Wire-polynomial evaluations u_i(tau), v_i(tau), w_i(tau) plus the
+    vanishing value t(tau) — everything Groth16 setup needs."""
+
+    domain_size: int
+    u: List[int]
+    v: List[int]
+    w: List[int]
+    t_at_tau: int
+
+
+def domain_size_for(instance: R1CSInstance) -> int:
+    # At least 2 so the vanishing polynomial has degree >= 2 and h exists.
+    return max(2, next_power_of_two(instance.num_constraints))
+
+
+def evaluate_qap_at(instance: R1CSInstance, tau: int) -> QAPEvaluation:
+    """Evaluate all QAP wire polynomials at ``tau``."""
+    n = domain_size_for(instance)
+    omega = fr_root_of_unity(n)
+    lag = lagrange_coeffs_at(n, omega, tau)
+
+    u = [0] * instance.num_wires
+    v = [0] * instance.num_wires
+    w = [0] * instance.num_wires
+    for q, wire, coeff in instance.entries("A"):
+        u[wire] = (u[wire] + coeff * lag[q]) % R
+    for q, wire, coeff in instance.entries("B"):
+        v[wire] = (v[wire] + coeff * lag[q]) % R
+    for q, wire, coeff in instance.entries("C"):
+        w[wire] = (w[wire] + coeff * lag[q]) % R
+
+    t_at_tau = (pow(tau, n, R) - 1) % R
+    return QAPEvaluation(domain_size=n, u=u, v=v, w=w, t_at_tau=t_at_tau)

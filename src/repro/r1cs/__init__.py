@@ -1,0 +1,16 @@
+"""R1CS constraint systems with CRPC-style ``Z``-packed coefficients."""
+
+from .builder import CircuitStats, Constraint, ConstraintSystem, derive_z
+from .lincomb import LC, LinearCombination, Term
+from .system import R1CSInstance
+
+__all__ = [
+    "CircuitStats",
+    "Constraint",
+    "ConstraintSystem",
+    "LC",
+    "LinearCombination",
+    "R1CSInstance",
+    "Term",
+    "derive_z",
+]

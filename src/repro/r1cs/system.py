@@ -1,0 +1,71 @@
+"""Concrete (specialised) R1CS instances.
+
+After the CRPC packing indeterminate has been collapsed to a field value,
+an instance is three sparse matrices A, B, C with the satisfaction relation
+``(A z) o (B z) = (C z)`` for the assignment vector
+``z = [1, public..., witness...]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..field.prime_field import BN254_FR_MODULUS
+
+R = BN254_FR_MODULUS
+
+SparseRow = List[Tuple[int, int]]  # [(wire, coeff)]
+
+
+@dataclass
+class R1CSInstance:
+    num_wires: int
+    num_public: int  # includes the constant-one wire
+    a_rows: List[SparseRow]
+    b_rows: List[SparseRow]
+    c_rows: List[SparseRow]
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.a_rows)
+
+    @property
+    def num_witness(self) -> int:
+        return self.num_wires - self.num_public
+
+    def nonzeros(self) -> int:
+        return sum(
+            len(r) for rows in (self.a_rows, self.b_rows, self.c_rows) for r in rows
+        )
+
+    # -- evaluation ---------------------------------------------------------
+    @staticmethod
+    def _row_dot(row: SparseRow, assignment: Sequence[int]) -> int:
+        return sum(c * assignment[w] for w, c in row) % R
+
+    def eval_products(self, assignment: Sequence[int]):
+        """Yield (Az_q, Bz_q, Cz_q) per constraint."""
+        for ra, rb, rc in zip(self.a_rows, self.b_rows, self.c_rows):
+            yield (
+                self._row_dot(ra, assignment),
+                self._row_dot(rb, assignment),
+                self._row_dot(rc, assignment),
+            )
+
+    def is_satisfied(self, assignment: Sequence[int]) -> bool:
+        if len(assignment) != self.num_wires:
+            raise ValueError("assignment length mismatch")
+        return all(a * b % R == c for a, b, c in self.eval_products(assignment))
+
+    def matvec(self, which: str, assignment: Sequence[int]) -> List[int]:
+        """Dense ``A z`` / ``B z`` / ``C z`` vector (used by Spartan)."""
+        rows = {"A": self.a_rows, "B": self.b_rows, "C": self.c_rows}[which]
+        return [self._row_dot(row, assignment) for row in rows]
+
+    def entries(self, which: str):
+        """Iterate sparse entries as (row, col, coeff)."""
+        rows = {"A": self.a_rows, "B": self.b_rows, "C": self.c_rows}[which]
+        for q, row in enumerate(rows):
+            for wire, coeff in row:
+                yield q, wire, coeff

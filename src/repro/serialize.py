@@ -1,0 +1,199 @@
+"""Proof and key serialisation.
+
+Wire formats for everything a client/server exchange needs: big-endian
+32-byte field elements, 64-byte uncompressed G1 points, 128-byte G2 points,
+with explicit length prefixes for variable-size sections.  Round-trip
+property tests live in ``tests/test_serialize.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from .curve.bn254 import AffinePoint, is_on_curve
+from .field.extension import Fq2
+from .field.prime_field import BN254_FQ_MODULUS, BN254_FR_MODULUS
+from .groth16.keys import Proof
+from .spartan.commitment import HyraxCommitment, HyraxOpening
+from .spartan.snark import SpartanProof
+from .spartan.sumcheck import SumcheckProof
+
+Q = BN254_FQ_MODULUS
+R = BN254_FR_MODULUS
+
+
+class SerializationError(ValueError):
+    """Malformed or out-of-group wire data."""
+
+
+# -- primitives ---------------------------------------------------------------
+
+def scalar_to_bytes(v: int) -> bytes:
+    return (v % R).to_bytes(32, "big")
+
+
+def scalar_from_bytes(data: bytes) -> int:
+    if len(data) != 32:
+        raise SerializationError("scalar must be 32 bytes")
+    v = int.from_bytes(data, "big")
+    if v >= R:
+        raise SerializationError("scalar not reduced")
+    return v
+
+
+def g1_to_bytes(point: AffinePoint) -> bytes:
+    if point is None:
+        return b"\x00" * 64
+    x, y = point
+    return x.to_bytes(32, "big") + y.to_bytes(32, "big")
+
+
+def g1_from_bytes(data: bytes) -> AffinePoint:
+    if len(data) != 64:
+        raise SerializationError("G1 point must be 64 bytes")
+    if data == b"\x00" * 64:
+        return None
+    x = int.from_bytes(data[:32], "big")
+    y = int.from_bytes(data[32:], "big")
+    if x >= Q or y >= Q:
+        raise SerializationError("G1 coordinate not reduced")
+    point = (x, y)
+    if not is_on_curve(point, 3):
+        raise SerializationError("G1 point not on curve")
+    return point
+
+
+def g2_to_bytes(point) -> bytes:
+    if point is None:
+        return b"\x00" * 128
+    x, y = point
+    out = b""
+    for coord in (x, y):
+        for c in coord.coeffs:
+            out += c.to_bytes(32, "big")
+    return out
+
+
+def g2_from_bytes(data: bytes):
+    if len(data) != 128:
+        raise SerializationError("G2 point must be 128 bytes")
+    if data == b"\x00" * 128:
+        return None
+    coords = [int.from_bytes(data[i:i + 32], "big") for i in range(0, 128, 32)]
+    if any(c >= Q for c in coords):
+        raise SerializationError("G2 coordinate not reduced")
+    x = Fq2(coords[:2])
+    y = Fq2(coords[2:])
+    from .curve.bn254 import B2
+
+    point = (x, y)
+    if not is_on_curve(point, B2):
+        raise SerializationError("G2 point not on twist")
+    return point
+
+
+def _pack_scalars(values) -> bytes:
+    return struct.pack(">I", len(values)) + b"".join(
+        scalar_to_bytes(v) for v in values
+    )
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise SerializationError("truncated input")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def scalars(self) -> List[int]:
+        return [scalar_from_bytes(self.take(32)) for _ in range(self.u32())]
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise SerializationError("trailing bytes")
+
+
+# -- Groth16 proof -------------------------------------------------------------
+
+def groth16_proof_to_bytes(proof: Proof) -> bytes:
+    return g1_to_bytes(proof.a) + g2_to_bytes(proof.b) + g1_to_bytes(proof.c)
+
+
+def groth16_proof_from_bytes(data: bytes) -> Proof:
+    if len(data) != 256:
+        raise SerializationError("groth16 proof must be 256 bytes")
+    return Proof(
+        a=g1_from_bytes(data[:64]),
+        b=g2_from_bytes(data[64:192]),
+        c=g1_from_bytes(data[192:]),
+    )
+
+
+# -- Spartan proof ---------------------------------------------------------------
+
+def _sumcheck_to_bytes(sc: SumcheckProof) -> bytes:
+    out = struct.pack(">I", len(sc.round_polys))
+    for poly in sc.round_polys:
+        out += _pack_scalars(poly)
+    return out
+
+
+def _sumcheck_from_reader(r: _Reader) -> SumcheckProof:
+    rounds = r.u32()
+    return SumcheckProof(round_polys=[r.scalars() for _ in range(rounds)])
+
+
+def spartan_proof_to_bytes(proof: SpartanProof) -> bytes:
+    c = proof.witness_commitment
+    out = struct.pack(
+        ">III", len(c.row_commits), c.num_vars, c.row_vars
+    )
+    out += b"".join(g1_to_bytes(p) for p in c.row_commits)
+    out += _sumcheck_to_bytes(proof.sumcheck1)
+    out += scalar_to_bytes(proof.va)
+    out += scalar_to_bytes(proof.vb)
+    out += scalar_to_bytes(proof.vc)
+    out += _sumcheck_to_bytes(proof.sumcheck2)
+    out += _pack_scalars(proof.opening.t)
+    out += scalar_to_bytes(proof.opening.blinder)
+    out += scalar_to_bytes(proof.opening.value)
+    return out
+
+
+def spartan_proof_from_bytes(data: bytes) -> SpartanProof:
+    r = _Reader(data)
+    n_rows, num_vars, row_vars = struct.unpack(">III", r.take(12))
+    commits = [g1_from_bytes(r.take(64)) for _ in range(n_rows)]
+    commitment = HyraxCommitment(
+        row_commits=commits,
+        num_vars=num_vars,
+        row_vars=row_vars,
+        col_vars=num_vars - row_vars,
+    )
+    sc1 = _sumcheck_from_reader(r)
+    va = scalar_from_bytes(r.take(32))
+    vb = scalar_from_bytes(r.take(32))
+    vc = scalar_from_bytes(r.take(32))
+    sc2 = _sumcheck_from_reader(r)
+    t = r.scalars()
+    blinder = scalar_from_bytes(r.take(32))
+    value = scalar_from_bytes(r.take(32))
+    r.done()
+    return SpartanProof(
+        witness_commitment=commitment,
+        sumcheck1=sc1,
+        va=va,
+        vb=vb,
+        vc=vc,
+        sumcheck2=sc2,
+        opening=HyraxOpening(t=t, blinder=blinder, value=value),
+    )

@@ -1,0 +1,31 @@
+"""Spartan-style transparent zk-SNARK backend (sumcheck + Hyrax commitment)."""
+
+from .commitment import (
+    HyraxCommitment,
+    HyraxOpening,
+    HyraxProver,
+    hash_to_g1,
+    hyrax_verify,
+    pedersen_commit,
+    pedersen_generators,
+)
+from .snark import SpartanProof, prove, verify
+from .sumcheck import SumcheckProof, sumcheck_prove, sumcheck_verify
+from .transcript import Transcript
+
+__all__ = [
+    "HyraxCommitment",
+    "HyraxOpening",
+    "HyraxProver",
+    "SpartanProof",
+    "SumcheckProof",
+    "Transcript",
+    "hash_to_g1",
+    "hyrax_verify",
+    "pedersen_commit",
+    "pedersen_generators",
+    "prove",
+    "sumcheck_prove",
+    "sumcheck_verify",
+    "verify",
+]

@@ -1,0 +1,185 @@
+"""Pedersen / Hyrax-style multilinear polynomial commitment.
+
+* Generators come from try-and-increment hash-to-curve, so no party knows
+  their discrete logs (nothing-up-my-sleeve; this is what makes the scheme
+  binding without a trusted setup).
+* A vector of length ``2^m`` is laid out as a ``2^m1 x 2^m2`` matrix
+  (``m1 = ceil(m/2)``); each row gets a blinded Pedersen commitment.
+* Opening at a point ``r = (r1 || r2)`` uses the bilinear structure
+  ``v~(r) = L(r1)^T M R(r2)``: the prover reveals ``t = M^T L`` and the
+  combined blinder, the verifier checks ``commit(t) == sum_i L_i * C_i``
+  homomorphically and evaluates ``<t, R(r2)>`` itself.
+
+Proof size and verifier work are ``O(sqrt n)`` — the same profile as the
+Hyrax commitment the Spartan paper builds on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..curve.bn254 import (
+    AffinePoint,
+    CURVE_ORDER,
+    add,
+    eq,
+    g1_sum,
+    is_on_curve,
+    multiply,
+    neg,
+)
+from ..curve.msm import msm
+from ..field.extension import P as FQ_MODULUS
+from ..field.prime_field import sqrt_mod
+from ..poly.multilinear import eq_evals
+
+R = CURVE_ORDER
+
+
+def hash_to_g1(label: bytes) -> AffinePoint:
+    """Try-and-increment hash-to-curve (generator with unknown dlog)."""
+    counter = 0
+    while True:
+        h = hashlib.sha256(label + b":" + str(counter).encode()).digest()
+        x = int.from_bytes(h, "big") % FQ_MODULUS
+        rhs = (x * x * x + 3) % FQ_MODULUS
+        try:
+            y = sqrt_mod(rhs, FQ_MODULUS)
+        except ValueError:
+            counter += 1
+            continue
+        # Normalise the root choice so the generator is deterministic.
+        if y > FQ_MODULUS - y:
+            y = FQ_MODULUS - y
+        point = (x, y)
+        assert is_on_curve(point, 3)
+        return point
+
+
+_GENERATOR_CACHE: List[AffinePoint] = []
+_BLINDER_GEN: Optional[AffinePoint] = None
+
+
+def pedersen_generators(count: int) -> List[AffinePoint]:
+    """Deterministic independent generators G_0..G_{count-1} (cached)."""
+    while len(_GENERATOR_CACHE) < count:
+        idx = len(_GENERATOR_CACHE)
+        _GENERATOR_CACHE.append(hash_to_g1(b"zkvc-pedersen-gen-%d" % idx))
+    return _GENERATOR_CACHE[:count]
+
+
+def blinder_generator() -> AffinePoint:
+    global _BLINDER_GEN
+    if _BLINDER_GEN is None:
+        _BLINDER_GEN = hash_to_g1(b"zkvc-pedersen-blinder")
+    return _BLINDER_GEN
+
+
+def pedersen_commit(
+    values: Sequence[int], blinder: int, generators: Sequence[AffinePoint]
+) -> AffinePoint:
+    acc = msm(list(generators[: len(values)]), list(values))
+    if blinder:
+        acc = add(acc, multiply(blinder_generator(), blinder))
+    return acc
+
+
+@dataclass
+class HyraxCommitment:
+    """Row commitments of the matrix layout, plus shape metadata."""
+
+    row_commits: List[AffinePoint]
+    num_vars: int
+    row_vars: int  # m1
+    col_vars: int  # m2
+
+    def size_bytes(self) -> int:
+        return 64 * len(self.row_commits)
+
+
+@dataclass
+class HyraxOpening:
+    """Evaluation proof: the L-combined row and its combined blinder."""
+
+    t: List[int]
+    blinder: int
+    value: int
+
+    def size_bytes(self) -> int:
+        return 32 * (len(self.t) + 2)
+
+
+class HyraxProver:
+    """Holds the committed vector and its blinders for later openings."""
+
+    def __init__(self, vec: Sequence[int], num_vars: int,
+                 rng: Optional[Callable[[], int]] = None):
+        if rng is None:
+            rng = lambda: secrets.randbits(256)  # noqa: E731
+        size = 1 << num_vars
+        if len(vec) > size:
+            raise ValueError("vector longer than 2^num_vars")
+        self.num_vars = num_vars
+        self.row_vars = (num_vars + 1) // 2
+        self.col_vars = num_vars - self.row_vars
+        self.values = [v % R for v in vec] + [0] * (size - len(vec))
+        ncols = 1 << self.col_vars
+        self.rows = [
+            self.values[i * ncols:(i + 1) * ncols]
+            for i in range(1 << self.row_vars)
+        ]
+        self.blinders = [rng() % R for _ in self.rows]
+
+    def commit(self) -> HyraxCommitment:
+        gens = pedersen_generators(1 << self.col_vars)
+        commits = [
+            pedersen_commit(row, blind, gens)
+            for row, blind in zip(self.rows, self.blinders)
+        ]
+        return HyraxCommitment(
+            row_commits=commits,
+            num_vars=self.num_vars,
+            row_vars=self.row_vars,
+            col_vars=self.col_vars,
+        )
+
+    def open(self, point: Sequence[int]) -> HyraxOpening:
+        """Open the multilinear evaluation at ``point`` (length num_vars)."""
+        if len(point) != self.num_vars:
+            raise ValueError("point arity mismatch")
+        left = eq_evals(point[: self.row_vars])
+        right = eq_evals(point[self.row_vars:])
+        ncols = 1 << self.col_vars
+        t = [0] * ncols
+        for weight, row in zip(left, self.rows):
+            if weight == 0:
+                continue
+            for j, v in enumerate(row):
+                t[j] = (t[j] + weight * v) % R
+        blinder = sum(
+            w * b for w, b in zip(left, self.blinders)
+        ) % R
+        value = sum(tv * rv for tv, rv in zip(t, right)) % R
+        return HyraxOpening(t=t, blinder=blinder, value=value)
+
+
+def hyrax_verify(
+    commitment: HyraxCommitment,
+    point: Sequence[int],
+    opening: HyraxOpening,
+) -> bool:
+    """Check an opening against the row commitments."""
+    if len(point) != commitment.num_vars:
+        return False
+    left = eq_evals(point[: commitment.row_vars])
+    right = eq_evals(point[commitment.row_vars:])
+    gens = pedersen_generators(1 << commitment.col_vars)
+    expected = msm(commitment.row_commits, left)
+    actual = pedersen_commit(opening.t, opening.blinder, gens)
+    if not eq(expected, actual):
+        return False
+    value = sum(tv * rv for tv, rv in zip(opening.t, right)) % R
+    return value == opening.value % R

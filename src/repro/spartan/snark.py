@@ -1,0 +1,222 @@
+"""Spartan-style transparent zk-SNARK for R1CS (no trusted setup).
+
+Protocol (Setty, CRYPTO'20), as reproduced here:
+
+1. The prover commits to the witness MLE with the Hyrax-style Pedersen
+   commitment.
+2. Sumcheck #1 proves ``sum_x eq(tau, x) * (Az~(x) Bz~(x) - Cz~(x)) = 0``,
+   pinning the R1CS identity at a random row point ``rx``.
+3. Sumcheck #2 proves the three matrix-vector evaluations at ``rx`` against
+   a random linear combination over columns, ending at a column point ``ry``.
+4. The verifier evaluates the matrix MLEs ``A~(rx, ry)`` etc. directly from
+   the sparse matrices (we omit Spartan's SPARK matrix commitments — the
+   matrices are public here), and gets ``w~`` from the commitment opening.
+
+Everything is made non-interactive with the Fiat–Shamir transcript.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..field.ntt import next_power_of_two
+from ..field.prime_field import BN254_FR_MODULUS
+from ..poly.multilinear import eq_eval, eq_evals
+from ..r1cs.system import R1CSInstance
+from .commitment import (
+    HyraxCommitment,
+    HyraxOpening,
+    HyraxProver,
+    hyrax_verify,
+)
+from .sumcheck import SumcheckProof, sumcheck_prove, sumcheck_verify
+from .transcript import Transcript
+
+R = BN254_FR_MODULUS
+
+
+@dataclass
+class SpartanProof:
+    witness_commitment: HyraxCommitment
+    sumcheck1: SumcheckProof
+    va: int
+    vb: int
+    vc: int
+    sumcheck2: SumcheckProof
+    opening: HyraxOpening
+
+    def size_bytes(self) -> int:
+        return (
+            self.witness_commitment.size_bytes()
+            + self.sumcheck1.size_bytes()
+            + 3 * 32
+            + self.sumcheck2.size_bytes()
+            + self.opening.size_bytes()
+        )
+
+
+def _shape(instance: R1CSInstance):
+    cons_padded = max(2, next_power_of_two(instance.num_constraints))
+    half = max(
+        2,
+        next_power_of_two(max(instance.num_public, instance.num_witness)),
+    )
+    full = 2 * half
+    return cons_padded, half, full
+
+
+def _column(index: int, num_public: int, half: int) -> int:
+    """Map an original wire index to the padded z-vector layout
+    ``[1, public..., 0 pad | witness..., 0 pad]``."""
+    if index < num_public:
+        return index
+    return half + (index - num_public)
+
+
+def prove(
+    instance: R1CSInstance,
+    assignment: Sequence[int],
+    transcript: Transcript,
+) -> SpartanProof:
+    if len(assignment) != instance.num_wires:
+        raise ValueError("assignment length mismatch")
+    cons_padded, half, full = _shape(instance)
+    cons_vars = cons_padded.bit_length() - 1
+    col_vars = full.bit_length() - 1
+    npub = instance.num_public
+
+    # 1. Commit to the witness MLE.
+    witness = [v % R for v in assignment[npub:]]
+    hyrax = HyraxProver(witness, col_vars - 1)
+    commitment = hyrax.commit()
+    transcript.append_points(b"witness-commit", commitment.row_commits)
+
+    # 2. Sumcheck #1 over the constraint rows.
+    tau = transcript.challenge_scalars(b"tau", cons_vars)
+    az = instance.matvec("A", assignment) + [0] * (
+        cons_padded - instance.num_constraints
+    )
+    bz = instance.matvec("B", assignment) + [0] * (
+        cons_padded - instance.num_constraints
+    )
+    cz = instance.matvec("C", assignment) + [0] * (
+        cons_padded - instance.num_constraints
+    )
+    eq_tau = eq_evals(tau)
+
+    def combine1(vals: Sequence[int]) -> int:
+        e, a, b, c = vals
+        return e * ((a * b - c) % R) % R
+
+    sc1, rx, finals1 = sumcheck_prove(
+        [eq_tau, az, bz, cz], combine1, 3, 0, transcript, b"sc1"
+    )
+    va, vb, vc = finals1[1], finals1[2], finals1[3]
+    transcript.append_scalars(b"vabc", [va, vb, vc])
+
+    # 3. Sumcheck #2 over the columns.
+    r_abc = transcript.challenge_scalars(b"rabc", 3)
+    claim2 = (r_abc[0] * va + r_abc[1] * vb + r_abc[2] * vc) % R
+
+    eq_rx = eq_evals(rx)
+    m_table = [0] * full
+    for which, rmul in zip("ABC", r_abc):
+        for q, wire, coeff in instance.entries(which):
+            col = _column(wire, npub, half)
+            m_table[col] = (m_table[col] + rmul * eq_rx[q] % R * coeff) % R
+    z_table = (
+        [v % R for v in assignment[:npub]]
+        + [0] * (half - npub)
+        + witness
+        + [0] * (half - len(witness))
+    )
+
+    def combine2(vals: Sequence[int]) -> int:
+        return vals[0] * vals[1] % R
+
+    sc2, ry, _finals2 = sumcheck_prove(
+        [m_table, z_table], combine2, 2, claim2, transcript, b"sc2"
+    )
+
+    # 4. Open the witness MLE at ry[1:].
+    opening = hyrax.open(ry[1:])
+    transcript.append_scalars(b"opening", opening.t + [opening.value])
+
+    return SpartanProof(
+        witness_commitment=commitment,
+        sumcheck1=sc1,
+        va=va,
+        vb=vb,
+        vc=vc,
+        sumcheck2=sc2,
+        opening=opening,
+    )
+
+
+def verify(
+    instance: R1CSInstance,
+    public_inputs: Sequence[int],
+    proof: SpartanProof,
+    transcript: Transcript,
+) -> bool:
+    cons_padded, half, full = _shape(instance)
+    cons_vars = cons_padded.bit_length() - 1
+    col_vars = full.bit_length() - 1
+    npub = instance.num_public
+    if len(public_inputs) != npub - 1:
+        return False
+
+    transcript.append_points(
+        b"witness-commit", proof.witness_commitment.row_commits
+    )
+    tau = transcript.challenge_scalars(b"tau", cons_vars)
+
+    ok1, final1, rx = sumcheck_verify(
+        proof.sumcheck1, 3, 0, cons_vars, transcript, b"sc1"
+    )
+    if not ok1:
+        return False
+    eq_tau_rx = eq_eval(tau, rx)
+    if final1 != eq_tau_rx * ((proof.va * proof.vb - proof.vc) % R) % R:
+        return False
+    transcript.append_scalars(b"vabc", [proof.va, proof.vb, proof.vc])
+
+    r_abc = transcript.challenge_scalars(b"rabc", 3)
+    claim2 = (
+        r_abc[0] * proof.va + r_abc[1] * proof.vb + r_abc[2] * proof.vc
+    ) % R
+    ok2, final2, ry = sumcheck_verify(
+        proof.sumcheck2, 2, claim2, col_vars, transcript, b"sc2"
+    )
+    if not ok2:
+        return False
+
+    # Oracle evaluations the verifier does itself.
+    eq_rx = eq_evals(rx)
+    eq_ry_rest = eq_evals(ry[1:])
+    m_eval = 0
+    for which, rmul in zip("ABC", r_abc):
+        acc = 0
+        for q, wire, coeff in instance.entries(which):
+            col = _column(wire, npub, half)
+            # col < half -> first-half leg, else second-half leg of ry[0].
+            if col < half:
+                weight = (1 - ry[0]) % R * eq_ry_rest[col] % R
+            else:
+                weight = ry[0] * eq_ry_rest[col - half] % R
+            acc = (acc + coeff * eq_rx[q] % R * weight) % R
+        m_eval = (m_eval + rmul * acc) % R
+
+    pub_vec = [1] + [v % R for v in public_inputs]
+    pub_eval = sum(
+        v * eq_ry_rest[i] for i, v in enumerate(pub_vec)
+    ) % R
+    if not hyrax_verify(proof.witness_commitment, ry[1:], proof.opening):
+        return False
+    transcript.append_scalars(
+        b"opening", proof.opening.t + [proof.opening.value]
+    )
+    z_eval = ((1 - ry[0]) * pub_eval + ry[0] * proof.opening.value) % R
+
+    return final2 == m_eval * z_eval % R

@@ -1,0 +1,135 @@
+"""The sumcheck protocol over dense multilinear tables.
+
+Spartan's two phases and the zkCNN baseline both reduce a claim
+
+    sum_{x in {0,1}^m} g(x) == claim
+
+to a single evaluation ``g(r)`` through ``m`` rounds.  ``g`` is given as a
+product/combination of multilinear tables: each round the prover sends the
+round polynomial's evaluations at ``t = 0..degree`` and binds the first free
+variable to the verifier's challenge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from ..field.prime_field import BN254_FR_MODULUS, inv_mod
+from .transcript import Transcript
+
+R = BN254_FR_MODULUS
+
+Combine = Callable[[Sequence[int]], int]
+
+
+@dataclass
+class SumcheckProof:
+    """Round polynomials as evaluation lists at t = 0..degree."""
+
+    round_polys: List[List[int]] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return 32 * sum(len(p) for p in self.round_polys)
+
+
+def _interpolate_eval(evals: Sequence[int], x: int) -> int:
+    """Evaluate the poly interpolating ``(i, evals[i])`` at ``x``
+    (small-degree Lagrange over the points 0..deg)."""
+    deg = len(evals) - 1
+    x %= R
+    if x <= deg:
+        return evals[x] % R
+    result = 0
+    for i, yi in enumerate(evals):
+        num, den = 1, 1
+        for j in range(deg + 1):
+            if j == i:
+                continue
+            num = num * ((x - j) % R) % R
+            den = den * ((i - j) % R) % R
+        result = (result + yi * num % R * inv_mod(den, R)) % R
+    return result
+
+
+def sumcheck_prove(
+    tables: List[List[int]],
+    combine: Combine,
+    degree: int,
+    claim: int,
+    transcript: Transcript,
+    label: bytes = b"sumcheck",
+) -> Tuple[SumcheckProof, List[int], List[int]]:
+    """Run the prover side.
+
+    ``tables`` are equal-length power-of-two evaluation tables; ``combine``
+    maps one value per table to the summand; ``degree`` bounds the per-round
+    degree in the bound variable.
+
+    Returns (proof, challenge point r, final bound values per table).
+    """
+    size = len(tables[0])
+    if any(len(t) != size for t in tables):
+        raise ValueError("tables must have equal length")
+    num_rounds = size.bit_length() - 1
+    tables = [list(t) for t in tables]
+    proof = SumcheckProof()
+    r_point: List[int] = []
+    current_claim = claim % R
+
+    for rnd in range(num_rounds):
+        half = len(tables[0]) // 2
+        # Round polynomial evaluations at t = 0..degree.
+        evals = [0] * (degree + 1)
+        for idx in range(half):
+            los = [t[idx] for t in tables]
+            his = [t[half + idx] for t in tables]
+            diffs = [(h - l) % R for l, h in zip(los, his)]
+            vals = los
+            evals[0] = (evals[0] + combine(vals)) % R
+            for t in range(1, degree + 1):
+                vals = [(v + d) % R for v, d in zip(vals, diffs)]
+                evals[t] = (evals[t] + combine(vals)) % R
+        proof.round_polys.append(evals)
+        transcript.append_scalars(label + b"/round", evals)
+        r = transcript.challenge_scalar(label + b"/challenge")
+        r_point.append(r)
+        # Bind the variable.
+        tables = [
+            [(t[i] + r * ((t[half + i] - t[i]) % R)) % R for i in range(half)]
+            for t in tables
+        ]
+        current_claim = _interpolate_eval(evals, r)
+
+    finals = [t[0] for t in tables]
+    return proof, r_point, finals
+
+
+def sumcheck_verify(
+    proof: SumcheckProof,
+    degree: int,
+    claim: int,
+    num_rounds: int,
+    transcript: Transcript,
+    label: bytes = b"sumcheck",
+) -> Tuple[bool, int, List[int]]:
+    """Run the verifier side.
+
+    Returns (rounds_consistent, final_claim, challenge point).  The caller
+    must still check ``final_claim`` against an oracle evaluation of ``g`` at
+    the returned point.
+    """
+    current = claim % R
+    r_point: List[int] = []
+    for rnd_poly in proof.round_polys:
+        if len(rnd_poly) != degree + 1:
+            return False, 0, r_point
+        if (rnd_poly[0] + rnd_poly[1]) % R != current:
+            return False, 0, r_point
+        transcript.append_scalars(label + b"/round", rnd_poly)
+        r = transcript.challenge_scalar(label + b"/challenge")
+        r_point.append(r)
+        current = _interpolate_eval(rnd_poly, r)
+    if len(proof.round_polys) != num_rounds:
+        return False, 0, r_point
+    return True, current, r_point

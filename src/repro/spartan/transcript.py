@@ -1,0 +1,55 @@
+"""Fiat–Shamir transcript (SHA-256 sponge) for the Spartan backend.
+
+Every prover message is absorbed with a label; challenges are squeezed by
+hashing the running state.  Deterministic, so prover and verifier derive the
+same challenges from the same message sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from ..curve.bn254 import AffinePoint, point_to_bytes
+from ..field.prime_field import BN254_FR_MODULUS
+
+R = BN254_FR_MODULUS
+
+
+class Transcript:
+    def __init__(self, label: bytes = b"zkvc-spartan"):
+        self._state = hashlib.sha256(b"transcript-init:" + label).digest()
+
+    def _absorb(self, label: bytes, data: bytes) -> None:
+        self._state = hashlib.sha256(
+            self._state + b"|" + label + b":" + data
+        ).digest()
+
+    def append_bytes(self, label: bytes, data: bytes) -> None:
+        self._absorb(label, data)
+
+    def append_scalar(self, label: bytes, value: int) -> None:
+        self._absorb(label, (value % R).to_bytes(32, "big"))
+
+    def append_scalars(self, label: bytes, values: Sequence[int]) -> None:
+        blob = b"".join((v % R).to_bytes(32, "big") for v in values)
+        self._absorb(label, blob)
+
+    def append_point(self, label: bytes, point: AffinePoint) -> None:
+        self._absorb(label, point_to_bytes(point))
+
+    def append_points(self, label: bytes, points: Sequence[AffinePoint]) -> None:
+        self._absorb(label, b"".join(point_to_bytes(p) for p in points))
+
+    def challenge_scalar(self, label: bytes) -> int:
+        self._state = hashlib.sha256(
+            self._state + b"|challenge:" + label
+        ).digest()
+        wide = hashlib.sha512(self._state).digest()
+        return int.from_bytes(wide, "big") % R
+
+    def challenge_scalars(self, label: bytes, count: int) -> List[int]:
+        return [
+            self.challenge_scalar(label + b"/" + str(i).encode())
+            for i in range(count)
+        ]

@@ -1,0 +1,42 @@
+"""zkML: quantised inference, model->circuit compilation, cost modelling,
+and end-to-end verifiable inference."""
+
+from .compile import (
+    CircuitCost,
+    ModelCircuitCost,
+    account_model,
+    account_trace,
+    compile_block_circuit,
+    gadget_unit_costs,
+    matmul_cost,
+    synthesize_trace,
+)
+from .costmodel import CostModel, PrimitiveRates, measure_rates
+from .quantized import (
+    InferenceTrace,
+    MatmulRecord,
+    NonlinearRecord,
+    QuantizedTransformer,
+)
+from .verifiable import InferenceProof, LayerProof, VerifiableInference
+
+__all__ = [
+    "CircuitCost",
+    "CostModel",
+    "InferenceProof",
+    "InferenceTrace",
+    "LayerProof",
+    "MatmulRecord",
+    "ModelCircuitCost",
+    "NonlinearRecord",
+    "PrimitiveRates",
+    "QuantizedTransformer",
+    "VerifiableInference",
+    "account_model",
+    "account_trace",
+    "compile_block_circuit",
+    "gadget_unit_costs",
+    "matmul_cost",
+    "measure_rates",
+    "synthesize_trace",
+]

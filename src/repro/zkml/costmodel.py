@@ -1,0 +1,187 @@
+"""Calibrated cost model.
+
+The pure-Python provers are 10^3-10^4x slower than the paper's C++/Rust
+stacks, so paper-scale circuits (ViT on ImageNet ~ 10^9 constraints) cannot
+be proven natively here.  The cost model measures this machine's primitive
+rates (G1/G2 scalar mult, MSM throughput, field mult, pairing), then
+predicts prover/verifier time and proof size for any
+:class:`~repro.zkml.compile.CircuitCost` — and a one-shot correction factor
+is fit against a *real* small proof so small-scale predictions match
+measurements before extrapolating.
+
+Predictions are used for the paper-scale rows of Tables III/IV and the
+large-dimension points of Figs. 3/6; every benchmark labels modelled numbers
+as such.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional
+
+from ..curve.bn254 import g1_generator, g2_generator, multiply
+from ..curve.msm import msm
+from ..curve.pairing import pairing
+from ..field.ntt import next_power_of_two, ntt
+from ..field.prime_field import BN254_FR_MODULUS
+from .compile import CircuitCost
+
+R = BN254_FR_MODULUS
+
+
+@dataclass
+class PrimitiveRates:
+    g1_mul_s: float        # one standalone G1 scalar mult
+    g1_msm_per_point_s: float
+    g2_mul_s: float
+    field_mul_s: float
+    ntt_per_elem_s: float
+    pairing_s: float
+
+
+@lru_cache(maxsize=1)
+def measure_rates() -> PrimitiveRates:
+    """Time the primitives once per process."""
+    g1, g2 = g1_generator(), g2_generator()
+    sc = 0x1234567890ABCDEF1234567890ABCDEF1234567890ABCDEF
+
+    t0 = time.perf_counter()
+    for i in range(8):
+        multiply(g1, sc + i)
+    g1_mul = (time.perf_counter() - t0) / 8
+
+    pts = [multiply(g1, i + 2) for i in range(64)]
+    scs = [(sc * (i + 1)) % R for i in range(64)]
+    t0 = time.perf_counter()
+    msm(pts, scs)
+    g1_msm = (time.perf_counter() - t0) / 64
+
+    t0 = time.perf_counter()
+    for i in range(4):
+        multiply(g2, sc + i)
+    g2_mul = (time.perf_counter() - t0) / 4
+
+    xs = [(sc * i + 7) % R for i in range(4096)]
+    t0 = time.perf_counter()
+    acc = 1
+    for v in xs:
+        acc = acc * v % R
+    field_mul = (time.perf_counter() - t0) / 4096
+
+    t0 = time.perf_counter()
+    ntt(xs)
+    ntt_per_elem = (time.perf_counter() - t0) / 4096
+
+    t0 = time.perf_counter()
+    pairing(g2, g1)
+    pairing_s = time.perf_counter() - t0
+
+    return PrimitiveRates(
+        g1_mul_s=g1_mul,
+        g1_msm_per_point_s=g1_msm,
+        g2_mul_s=g2_mul,
+        field_mul_s=field_mul,
+        ntt_per_elem_s=ntt_per_elem,
+        pairing_s=pairing_s,
+    )
+
+
+class CostModel:
+    """Predict proving/verification time and proof size from circuit costs.
+
+    ``correction`` factors (default 1.0) are fitted by
+    :meth:`calibrate_against` using one real measured proof per backend.
+    """
+
+    def __init__(self, rates: Optional[PrimitiveRates] = None):
+        self.rates = rates or measure_rates()
+        self.correction: Dict[str, float] = {"groth16": 1.0, "spartan": 1.0}
+
+    # -- groth16 ------------------------------------------------------------------
+    def groth16_prove_time(self, cost: CircuitCost) -> float:
+        r = self.rates
+        domain = max(2, next_power_of_two(cost.constraints))
+        msm_points = (
+            cost.a_wires          # A query
+            + cost.b_wires        # B query (G1 copy)
+            + cost.wires          # K query (witness)
+            + domain              # H query
+        )
+        g2_points = cost.b_wires
+        ntt_elems = 9 * 2 * domain  # 3 intt + 3 coset-ntt + back, x2 size
+        matvec = cost.terms
+        t = (
+            msm_points * r.g1_msm_per_point_s
+            + g2_points * r.g2_mul_s
+            + ntt_elems * r.ntt_per_elem_s * max(1, math.log2(domain) / 12)
+            + matvec * r.field_mul_s * 2
+        )
+        return t * self.correction["groth16"]
+
+    def groth16_verify_time(self, num_public: int) -> float:
+        # 4 shared-final-exp Miller loops ~= 3 full pairings, plus IC MSM.
+        return 3 * self.rates.pairing_s + num_public * self.rates.g1_msm_per_point_s
+
+    @staticmethod
+    def groth16_proof_size() -> int:
+        return 256
+
+    # -- spartan ------------------------------------------------------------------
+    @staticmethod
+    def _spartan_shape(cost: CircuitCost):
+        cons = max(2, next_power_of_two(cost.constraints))
+        half = max(2, next_power_of_two(cost.wires))
+        return cons, 2 * half
+
+    def spartan_prove_time(self, cost: CircuitCost) -> float:
+        r = self.rates
+        cons, full = self._spartan_shape(cost)
+        field_ops = (
+            40 * cons          # sumcheck 1 (4 tables, deg 3, halving rounds)
+            + 16 * full        # sumcheck 2
+            + 4 * cost.terms   # matvecs + M-table build
+            + 4 * full         # eq tables, z table
+        )
+        witness = cost.wires
+        commit_points = witness + 2 * int(math.isqrt(max(1, witness)))
+        t = (
+            field_ops * r.field_mul_s
+            + commit_points * r.g1_msm_per_point_s
+        )
+        return t * self.correction["spartan"]
+
+    def spartan_verify_time(self, cost: CircuitCost) -> float:
+        r = self.rates
+        cons, full = self._spartan_shape(cost)
+        sqrt_w = int(math.isqrt(max(1, cost.wires))) + 1
+        field_ops = 2 * cost.terms + cons + full
+        group_ops = 2 * sqrt_w
+        return field_ops * r.field_mul_s + group_ops * r.g1_msm_per_point_s
+
+    def spartan_proof_size(self, cost: CircuitCost) -> int:
+        cons, full = self._spartan_shape(cost)
+        rows = 1 << ((full.bit_length()) // 2)  # Hyrax row commitments
+        sumcheck_scalars = 4 * max(1, cons.bit_length() - 1) + 3 * max(
+            1, full.bit_length() - 1
+        )
+        opening = rows + 2
+        return rows * 64 + (sumcheck_scalars + opening + 3) * 32
+
+    # -- calibration -----------------------------------------------------------------
+    def calibrate_against(
+        self, backend: str, cost: CircuitCost, measured_prove_s: float
+    ) -> float:
+        """Fit the backend's correction factor from one real measurement."""
+        estimator = (
+            self.groth16_prove_time
+            if backend == "groth16"
+            else self.spartan_prove_time
+        )
+        self.correction[backend] = 1.0
+        predicted = estimator(cost)
+        factor = measured_prove_s / predicted if predicted > 0 else 1.0
+        self.correction[backend] = factor
+        return factor

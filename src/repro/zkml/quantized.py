@@ -1,0 +1,286 @@
+"""Quantised integer inference for trained Transformers.
+
+Takes a float model from :mod:`repro.nn.transformer` and runs its forward
+pass entirely in fixed-point integers, with the *same* floor-division
+semantics as the circuit gadgets — so a compiled circuit and this "reference
+prover" agree exactly, and accuracy after quantisation can be measured
+against the float model (the paper quantises with NITI [42] the same way).
+
+Every matmul the forward pass executes is recorded as a
+:class:`MatmulRecord`, which is what the compiler/cost model consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.attention import (
+    LinearMixer,
+    PoolingMixer,
+    ScalingAttention,
+    SoftmaxAttention,
+)
+from ..nn.transformer import TextTransformer, Transformer, VisionTransformer
+
+DEFAULT_FRAC_BITS = 12
+EXP_ITERS = 5
+CLIP_T = -8.0
+
+
+@dataclass
+class MatmulRecord:
+    """One matrix multiplication executed during quantised inference."""
+
+    layer: str
+    a: int
+    n: int
+    b: int
+
+    @property
+    def mults(self) -> int:
+        return self.a * self.n * self.b
+
+
+@dataclass
+class NonlinearRecord:
+    kind: str       # "softmax_row" | "gelu" | "layernorm_row" | "rescale"
+    count: int      # how many units (rows / elements)
+    width: int      # row width for row-wise ops, else 1
+
+
+@dataclass
+class InferenceTrace:
+    matmuls: List[MatmulRecord] = field(default_factory=list)
+    nonlinears: List[NonlinearRecord] = field(default_factory=list)
+
+    def total_mults(self) -> int:
+        return sum(m.mults for m in self.matmuls)
+
+
+def _q(x: np.ndarray, frac_bits: int) -> np.ndarray:
+    return np.rint(np.asarray(x) * (1 << frac_bits)).astype(np.int64)
+
+
+def _shift(x: np.ndarray, bits: int) -> np.ndarray:
+    return x >> bits  # arithmetic shift == floor division for 2^bits
+
+
+class QuantizedTransformer:
+    """Integer twin of a trained single-stage Transformer classifier."""
+
+    def __init__(self, model, frac_bits: int = DEFAULT_FRAC_BITS):
+        self.frac_bits = frac_bits
+        self.scale = 1 << frac_bits
+        self.model = model
+        self.trace = InferenceTrace()
+        enc: Transformer = model.encoder if hasattr(model, "encoder") else model
+        self.encoder = enc
+        f = frac_bits
+        self.blocks = []
+        for blk in enc.blocks:
+            qblk = {
+                "mixer_name": blk.mixer_name,
+                "n1_g": _q(blk.norm1.gamma.data, f),
+                "n1_b": _q(blk.norm1.beta.data, f),
+                "n2_g": _q(blk.norm2.gamma.data, f),
+                "n2_b": _q(blk.norm2.beta.data, f),
+                "fc1_w": _q(blk.mlp.fc1.weight.data, f),
+                "fc1_b": _q(blk.mlp.fc1.bias.data, 2 * f),
+                "fc2_w": _q(blk.mlp.fc2.weight.data, f),
+                "fc2_b": _q(blk.mlp.fc2.bias.data, 2 * f),
+                "poly_gelu": blk.mlp.poly_gelu,
+            }
+            mixer = blk.mixer
+            if isinstance(mixer, (SoftmaxAttention, ScalingAttention)):
+                qblk["qkv_w"] = _q(mixer.qkv.weight.data, f)
+                qblk["qkv_b"] = _q(mixer.qkv.bias.data, 2 * f)
+                qblk["proj_w"] = _q(mixer.proj.weight.data, f)
+                qblk["proj_b"] = _q(mixer.proj.bias.data, 2 * f)
+                qblk["heads"] = mixer.heads
+                qblk["head_dim"] = mixer.head_dim
+            elif isinstance(mixer, LinearMixer):
+                qblk["mix_w"] = _q(mixer.token_mix.weight.data, f)
+                qblk["mix_b"] = _q(mixer.token_mix.bias.data, 2 * f)
+            self.blocks.append(qblk)
+        self.norm_g = _q(enc.norm.gamma.data, f)
+        self.norm_b = _q(enc.norm.beta.data, f)
+        self.head_w = _q(enc.head.weight.data, f)
+        self.head_b = _q(enc.head.bias.data, 2 * f)
+
+    # -- primitive integer ops (mirroring the gadgets) -------------------------
+    def _linear(self, x: np.ndarray, w: np.ndarray, b: np.ndarray,
+                layer: str) -> np.ndarray:
+        self.trace.matmuls.append(
+            MatmulRecord(layer, x.shape[-2], x.shape[-1], w.shape[-1])
+        )
+        out = x @ w + b
+        self.trace.nonlinears.append(
+            NonlinearRecord("rescale", int(np.prod(out.shape[-2:])), 1)
+        )
+        return _shift(out, self.frac_bits)
+
+    def _layernorm(self, x: np.ndarray, gamma: np.ndarray,
+                   beta: np.ndarray) -> np.ndarray:
+        f, s = self.frac_bits, self.scale
+        t = x.shape[-1]
+        eps = max(1, s // 16)
+        total = x.sum(axis=-1, keepdims=True)
+        mu = np.floor_divide(total, t)
+        c = x - mu
+        var = np.floor_divide((c * c).sum(axis=-1, keepdims=True), t)
+        r = np.array(
+            [
+                math.isqrt((s ** 4) // int(v + eps))
+                for v in var.reshape(-1)
+            ],
+            dtype=np.int64,
+        ).reshape(var.shape)
+        y = _shift(c * r, f)
+        y = _shift(y * gamma, f) + _shift(beta, 0)
+        self.trace.nonlinears.append(
+            NonlinearRecord("layernorm_row", int(np.prod(x.shape[:-1])), t)
+        )
+        return y
+
+    def _exp_neg(self, u: np.ndarray) -> np.ndarray:
+        """e^x for x = -u <= 0 via the paper's (1 + x/2^n)^(2^n)."""
+        f, s = self.frac_bits, self.scale
+        t_fixed = round(-CLIP_T * s)
+        clipped = np.minimum(u, t_fixed)
+        base = s - _shift(clipped, EXP_ITERS)
+        for _ in range(EXP_ITERS):
+            base = _shift(base * base, f)
+        return np.where(u <= t_fixed, base, 0).astype(np.int64)
+
+    def _softmax_rows(self, x: np.ndarray) -> np.ndarray:
+        s = self.scale
+        m = x.max(axis=-1, keepdims=True)
+        e = self._exp_neg(m - x)
+        total = e.sum(axis=-1, keepdims=True)
+        total = np.maximum(total, 1)
+        out = np.floor_divide(e * s, total)
+        self.trace.nonlinears.append(
+            NonlinearRecord(
+                "softmax_row", int(np.prod(x.shape[:-1])), x.shape[-1]
+            )
+        )
+        return out
+
+    def _gelu(self, x: np.ndarray, poly: bool) -> np.ndarray:
+        f, s = self.frac_bits, self.scale
+        self.trace.nonlinears.append(
+            NonlinearRecord("gelu", int(np.prod(x.shape)), 1)
+        )
+        if poly:
+            return _shift(x * x, f + 3) + np.floor_divide(x, 4) + s // 2
+        # exact-GELU models still get the polynomial in the verified path —
+        # the paper replaces Tanh-GELU by the polynomial for proving.
+        return _shift(x * x, f + 3) + np.floor_divide(x, 4) + s // 2
+
+    # -- mixers ------------------------------------------------------------------
+    def _mix(self, qblk: dict, x: np.ndarray, idx: int) -> np.ndarray:
+        name = qblk["mixer_name"]
+        f, s = self.frac_bits, self.scale
+        b, t, d = x.shape
+        if name == "pooling":
+            mean = np.floor_divide(x.sum(axis=1, keepdims=True), t)
+            self.trace.matmuls.append(MatmulRecord(f"blk{idx}.pool", 1, t, d))
+            return mean - x
+        if name == "linear":
+            mixed = np.swapaxes(x, 1, 2) @ qblk["mix_w"] + qblk["mix_b"]
+            self.trace.matmuls.append(MatmulRecord(f"blk{idx}.mix", d, t, t))
+            self.trace.nonlinears.append(
+                NonlinearRecord("rescale", t * d, 1)
+            )
+            return np.swapaxes(_shift(mixed, f), 1, 2)
+        h, hd = qblk["heads"], qblk["head_dim"]
+        qkv = self._linear(
+            x, qblk["qkv_w"], qblk["qkv_b"], f"blk{idx}.qkv"
+        )  # [b,t,3d]
+        qkv = qkv.reshape(b, t, 3, h, hd).transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]  # [b,h,t,hd]
+        if name == "softmax":
+            scores = q @ np.swapaxes(k, -1, -2)  # scale s^2
+            self.trace.matmuls.extend(
+                MatmulRecord(f"blk{idx}.qk", t, hd, t) for _ in range(h)
+            )
+            inv_sqrt = round(s / math.sqrt(hd))
+            scores = _shift(_shift(scores, f) * inv_sqrt, f)
+            att = self._softmax_rows(scores)
+            mixed = _shift(att @ v, f)
+            self.trace.matmuls.extend(
+                MatmulRecord(f"blk{idx}.av", t, t, hd) for _ in range(h)
+            )
+        else:  # scaling
+            context = np.floor_divide(
+                _shift(np.swapaxes(k, -1, -2) @ v, f), t
+            )
+            self.trace.matmuls.extend(
+                MatmulRecord(f"blk{idx}.kv", hd, t, hd) for _ in range(h)
+            )
+            inv_sqrt = round(s / math.sqrt(hd))
+            mixed = _shift(_shift(q @ context, f) * inv_sqrt, f)
+            self.trace.matmuls.extend(
+                MatmulRecord(f"blk{idx}.qc", t, hd, hd) for _ in range(h)
+            )
+        mixed = mixed.transpose(0, 2, 1, 3).reshape(b, t, d)
+        return self._linear(
+            mixed, qblk["proj_w"], qblk["proj_b"], f"blk{idx}.proj"
+        )
+
+    # -- forward -------------------------------------------------------------------
+    def forward_tokens(self, x: np.ndarray) -> np.ndarray:
+        """Run the encoder on already-embedded integer tokens [b, t, d]."""
+        for idx, qblk in enumerate(self.blocks):
+            normed = self._layernorm(x, qblk["n1_g"], qblk["n1_b"])
+            x = x + self._mix(qblk, normed, idx)
+            normed = self._layernorm(x, qblk["n2_g"], qblk["n2_b"])
+            h = self._linear(
+                normed, qblk["fc1_w"], qblk["fc1_b"], f"blk{idx}.fc1"
+            )
+            h = self._gelu(h, qblk["poly_gelu"])
+            h = self._linear(h, qblk["fc2_w"], qblk["fc2_b"], f"blk{idx}.fc2")
+            x = x + h
+        x = self._layernorm(x, self.norm_g, self.norm_b)
+        pooled = np.floor_divide(x.sum(axis=1), x.shape[1])
+        logits = _shift(
+            pooled @ self.head_w + self.head_b, self.frac_bits
+        )
+        self.trace.matmuls.append(
+            MatmulRecord("head", 1, pooled.shape[-1], self.head_w.shape[-1])
+        )
+        return logits
+
+    def embed(self, raw) -> np.ndarray:
+        """Quantised input embedding (patches or token ids)."""
+        f = self.frac_bits
+        model = self.model
+        if isinstance(model, VisionTransformer):
+            patches = _q(model.embed.patches(np.asarray(raw)), f)
+            w = _q(model.embed.proj.weight.data, f)
+            bias = _q(model.embed.proj.bias.data, 2 * f)
+            tok = _shift(patches @ w + bias, f)
+            self.trace.matmuls.append(
+                MatmulRecord("embed", patches.shape[1], w.shape[0], w.shape[1])
+            )
+            return tok + _q(model.pos.data, f)
+        if isinstance(model, TextTransformer):
+            table = _q(model.embed.table.data, f)
+            tok = table[np.asarray(raw)]
+            return tok + _q(model.pos.data, f)
+        raise TypeError("embed() needs a VisionTransformer or TextTransformer")
+
+    def predict(self, raw) -> np.ndarray:
+        logits = self.forward_tokens(self.embed(raw))
+        return logits.argmax(axis=-1)
+
+    def accuracy(self, xs, ys, batch: int = 64) -> float:
+        correct = 0
+        for start in range(0, len(xs), batch):
+            pred = self.predict(xs[start:start + batch])
+            correct += int((pred == ys[start:start + batch]).sum())
+        return correct / len(xs)

@@ -1,0 +1,122 @@
+"""End-to-end verifiable inference for (small) quantised Transformers.
+
+The paper proves whole-model inference; in pure Python we prove each
+*matmul* of the forward pass with the zkVC circuit (layer-wise composition,
+the standard trick when one monolithic circuit would not fit) and check the
+nonlinear links (rescale/softmax/gelu/layernorm) by recomputation against
+the quantised reference — the full in-circuit nonlinear path is exercised
+separately by :func:`repro.zkml.compile.compile_block_circuit`.
+
+For paper-scale models use :class:`repro.zkml.costmodel.CostModel` instead;
+this class is meant for the integration tests and examples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.api import MatmulProofBundle, MatmulProver
+from ..field.prime_field import BN254_FR_MODULUS
+from .quantized import QuantizedTransformer
+
+R = BN254_FR_MODULUS
+
+
+@dataclass
+class LayerProof:
+    layer: str
+    bundle: MatmulProofBundle
+
+
+@dataclass
+class InferenceProof:
+    prediction: int
+    logits: List[int]
+    layer_proofs: List[LayerProof] = field(default_factory=list)
+    prove_time_s: float = 0.0
+
+    def total_proof_bytes(self) -> int:
+        return sum(lp.bundle.proof_size_bytes() for lp in self.layer_proofs)
+
+
+class VerifiableInference:
+    """Prove the matmuls of a quantised model's forward pass.
+
+    ``max_layers`` bounds how many matmuls are actually proven (the rest are
+    recomputed); ``None`` proves everything — only sensible for tiny models.
+    """
+
+    def __init__(
+        self,
+        qmodel: QuantizedTransformer,
+        strategy: str = "crpc_psq",
+        backend: str = "groth16",
+        max_layers: Optional[int] = None,
+    ):
+        self.qmodel = qmodel
+        self.strategy = strategy
+        self.backend = backend
+        self.max_layers = max_layers
+        self._provers: Dict[Tuple[int, int, int], MatmulProver] = {}
+
+    def _prover_for(self, a: int, n: int, b: int) -> MatmulProver:
+        key = (a, n, b)
+        if key not in self._provers:
+            self._provers[key] = MatmulProver(
+                a, n, b, strategy=self.strategy, backend=self.backend
+            )
+        return self._provers[key]
+
+    def prove(self, raw_input) -> InferenceProof:
+        """Run quantised inference on one input and prove its matmuls."""
+        q = self.qmodel
+        q.trace.matmuls.clear()
+        q.trace.nonlinears.clear()
+
+        t0 = time.perf_counter()
+        captured: List[Tuple[str, np.ndarray, np.ndarray]] = []
+
+        # Wrap the linear primitive to capture (x, w) pairs per matmul.
+        original_linear = q._linear
+
+        def capturing_linear(x, w, b, layer):
+            if x.ndim == 2:
+                captured.append((layer, x.copy(), w.copy()))
+            else:
+                captured.append((layer, x.reshape(-1, x.shape[-1]).copy(), w.copy()))
+            return original_linear(x, w, b, layer)
+
+        q._linear = capturing_linear  # type: ignore[assignment]
+        try:
+            tokens = q.embed(np.asarray(raw_input)[None, ...])
+            logits = q.forward_tokens(tokens)[0]
+        finally:
+            q._linear = original_linear  # type: ignore[assignment]
+
+        proofs: List[LayerProof] = []
+        budget = self.max_layers if self.max_layers is not None else len(captured)
+        for layer, x, w in captured[:budget]:
+            a, n = x.shape
+            b = w.shape[1]
+            prover = self._prover_for(a, n, b)
+            bundle = prover.prove(x.tolist(), w.tolist())
+            proofs.append(LayerProof(layer=layer, bundle=bundle))
+
+        return InferenceProof(
+            prediction=int(np.argmax(logits)),
+            logits=[int(v) for v in logits],
+            layer_proofs=proofs,
+            prove_time_s=time.perf_counter() - t0,
+        )
+
+    def verify(self, proof: InferenceProof) -> bool:
+        for lp in proof.layer_proofs:
+            a, n, b = lp.bundle.shape
+            prover = self._prover_for(a, n, b)
+            if not prover.verify(lp.bundle):
+                return False
+        return True

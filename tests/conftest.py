@@ -1,0 +1,29 @@
+"""Shared test fixtures and hypothesis settings."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Crypto ops are slow in pure Python; keep example counts sane and disable
+# per-example deadlines globally.
+settings.register_profile(
+    "repro",
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def seeded_rng_factory():
+    def make(seed: int = 0):
+        return random.Random(seed)
+
+    return make

@@ -1,0 +1,159 @@
+"""Autograd engine: numeric gradient checks per op."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, cross_entropy
+
+
+def numeric_grad(f, x: np.ndarray, i, eps=1e-6):
+    x[i] += eps
+    up = f()
+    x[i] -= 2 * eps
+    down = f()
+    x[i] += eps
+    return (up - down) / (2 * eps)
+
+
+def check_op(op, shape=(3, 4), seed=0, idx=(1, 2), tol=1e-5):
+    rng = np.random.default_rng(seed)
+    t = Tensor(rng.normal(size=shape), requires_grad=True)
+
+    def loss():
+        return float(op(t).sum().data)
+
+    out = op(t).sum()
+    out.backward()
+    analytic = t.grad[idx]
+    numeric = numeric_grad(loss, t.data, idx)
+    assert analytic == pytest.approx(numeric, abs=tol, rel=1e-4)
+
+
+class TestElementwiseOps:
+    def test_add(self):
+        check_op(lambda t: t + Tensor(np.ones(t.shape)))
+
+    def test_sub(self):
+        check_op(lambda t: t - Tensor(np.full(t.shape, 0.3)))
+
+    def test_mul(self):
+        check_op(lambda t: t * Tensor(np.full(t.shape, 1.7)))
+
+    def test_scale(self):
+        check_op(lambda t: t.scale(2.5))
+
+    def test_relu(self):
+        check_op(lambda t: t.relu(), seed=3)
+
+    def test_gelu(self):
+        check_op(lambda t: t.gelu())
+
+    def test_gelu_poly(self):
+        check_op(lambda t: t.gelu_poly())
+
+
+class TestShapeOps:
+    def test_matmul_left(self):
+        w = Tensor(np.random.default_rng(1).normal(size=(4, 5)))
+        check_op(lambda t: t @ w)
+
+    def test_matmul_right_grad(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(3, 4)))
+        w = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+
+        def loss():
+            return float((x @ w).sum().data)
+
+        (x @ w).sum().backward()
+        assert w.grad[2, 3] == pytest.approx(
+            numeric_grad(loss, w.data, (2, 3)), abs=1e-5
+        )
+
+    def test_transpose(self):
+        check_op(lambda t: t.transpose())
+
+    def test_reshape(self):
+        check_op(lambda t: t.reshape(4, 3))
+
+    def test_mean(self):
+        check_op(lambda t: t.mean(axis=1))
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(4)
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)))
+
+        def loss():
+            return float((a @ b).sum().data)
+
+        (a @ b).sum().backward()
+        assert a.grad[1, 2, 3] == pytest.approx(
+            numeric_grad(loss, a.data, (1, 2, 3)), abs=1e-5
+        )
+
+
+class TestNormalisations:
+    def test_softmax(self):
+        check_op(lambda t: t.softmax(), tol=1e-6)
+
+    def test_layernorm(self):
+        check_op(lambda t: t.layernorm(), tol=1e-5)
+
+    def test_softmax_rows_sum_to_one(self):
+        t = Tensor(np.random.default_rng(5).normal(size=(3, 6)))
+        out = t.softmax().data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_layernorm_standardises(self):
+        t = Tensor(np.random.default_rng(6).normal(size=(3, 16)))
+        out = t.layernorm().data
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-6)
+        assert np.allclose(out.var(axis=-1), 1, atol=1e-2)
+
+
+class TestCrossEntropy:
+    def test_grad(self):
+        rng = np.random.default_rng(7)
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        labels = np.array([0, 2, 1, 0])
+
+        def loss():
+            return float(cross_entropy(Tensor(logits.data), labels).data)
+
+        cross_entropy(logits, labels).backward()
+        assert logits.grad[1, 2] == pytest.approx(
+            numeric_grad(loss, logits.data, (1, 2)), abs=1e-6
+        )
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert float(loss.data) < 1e-6
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x  # dy/dx = 2x = 4... via two parents referencing x
+        y.backward(np.array([1.0]))
+        assert x.grad[0] == pytest.approx(4.0)
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x + x).backward()
+
+    def test_no_grad_leaves_untouched(self):
+        x = Tensor(np.ones(3))
+        y = Tensor(np.ones(3), requires_grad=True)
+        (x * y).sum().backward()
+        assert x.grad is None
+        assert y.grad is not None
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x.scale(2.0)
+        b = x.scale(3.0)
+        (a + b).sum().backward()
+        assert x.grad[0] == pytest.approx(5.0)

@@ -1,0 +1,147 @@
+"""Bench-harness units plus slow end-to-end integrations: verifiable
+inference over a tiny model, and a full transformer-block circuit proven
+with Spartan."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    CIRCUIT_SCHEMES,
+    TABLE1_HEADERS,
+    fmt_bytes,
+    fmt_s,
+    format_table,
+    model_scheme_at_scale,
+    random_matrices,
+    run_circuit_scheme,
+    run_zkcnn,
+    table1_rows,
+)
+from repro.field.prime_field import BN254_FR_MODULUS
+from repro.nn import VisionTransformer, make_vision_dataset, train_model, uniform_plan
+from repro.spartan import Transcript
+from repro.spartan import prove as spartan_prove
+from repro.spartan import verify as spartan_verify
+from repro.zkml import (
+    CostModel,
+    QuantizedTransformer,
+    VerifiableInference,
+    compile_block_circuit,
+)
+
+R = BN254_FR_MODULUS
+
+
+class TestHarnessUnits:
+    def test_random_matrices_product(self):
+        x, w, y = random_matrices(2, 3, 2, seed=1)
+        for i in range(2):
+            for j in range(2):
+                assert y[i][j] == sum(
+                    x[i][k] * w[k][j] for k in range(3)
+                ) % R
+
+    def test_format_helpers(self):
+        assert fmt_s(0.5) == "500.0ms"
+        assert fmt_s(2.0) == "2.00s"
+        assert fmt_s(1e-5) == "10us"
+        assert fmt_bytes(100) == "100B"
+        assert fmt_bytes(2048) == "2.0KB"
+        assert fmt_bytes(3 * 1024 * 1024) == "3.0MB"
+
+    def test_format_table(self):
+        out = format_table("T", ["a", "bb"], [["1", "2"], ["33", "4"]])
+        assert "T" in out and "33" in out
+
+    def test_table1_matches_paper(self):
+        rows = table1_rows()
+        assert len(rows) == 9
+        zkvc = rows[-1]
+        assert zkvc[0] == "zkVC"
+        assert all(cell == "yes" for cell in zkvc[1:])
+        safety = rows[0]
+        assert safety[1] == "-"  # SafetyNets is not zero-knowledge
+        assert len(TABLE1_HEADERS) == 8
+
+    def test_scheme_registry(self):
+        assert set(CIRCUIT_SCHEMES) == {
+            "groth16", "spartan", "vCNN", "ZEN", "zkVC-G", "zkVC-S",
+        }
+
+    def test_run_spartan_scheme(self):
+        res = run_circuit_scheme("zkVC-S", 2, 4, 2, seed=1)
+        assert res.prove_s > 0 and res.proof_bytes > 0
+        assert not res.modelled
+
+    def test_run_zkcnn_scheme(self):
+        res = run_zkcnn(2, 4, 2, seed=1)
+        assert res.online_s >= res.verify_s
+        assert res.scheme == "zkCNN"
+
+    def test_modelled_rows_labelled(self):
+        model = CostModel()
+        for scheme in ("zkVC-G", "zkML", "spartan"):
+            res = model_scheme_at_scale(scheme, 49, 64, 128, model)
+            assert res.modelled
+            assert res.prove_s > 0
+
+
+@pytest.mark.slow
+class TestVerifiableInferenceE2E:
+    @pytest.fixture(scope="class")
+    def tiny_model(self):
+        data = make_vision_dataset("cifar10", 200, seed=5)
+        model = VisionTransformer(
+            16, 4, dim=8, heads=2, num_classes=8,
+            mixer_plan=uniform_plan("pooling", 1),
+            rng=np.random.default_rng(0),
+        )
+        train_model(model, data, epochs=2, lr=0.05)
+        return model, data
+
+    def test_prove_and_verify_layers(self, tiny_model):
+        model, data = tiny_model
+        q = QuantizedTransformer(model, frac_bits=8)
+        vi = VerifiableInference(
+            q, strategy="crpc_psq", backend="spartan", max_layers=2
+        )
+        proof = vi.prove(data.test_x[0])
+        assert len(proof.layer_proofs) == 2
+        assert vi.verify(proof)
+        assert proof.total_proof_bytes() > 0
+        assert 0 <= proof.prediction < 8
+
+    def test_tampered_layer_rejected(self, tiny_model):
+        model, data = tiny_model
+        q = QuantizedTransformer(model, frac_bits=8)
+        vi = VerifiableInference(
+            q, strategy="crpc_psq", backend="spartan", max_layers=1
+        )
+        proof = vi.prove(data.test_x[1])
+        bundle = proof.layer_proofs[0].bundle
+        bundle.y[0][0] = (bundle.y[0][0] + 1) % R
+        assert not vi.verify(proof)
+
+    def test_prediction_matches_plain_inference(self, tiny_model):
+        model, data = tiny_model
+        q = QuantizedTransformer(model, frac_bits=8)
+        expected = int(q.predict(data.test_x[:1])[0])
+        vi = VerifiableInference(
+            q, strategy="crpc_psq", backend="spartan", max_layers=0
+        )
+        proof = vi.prove(data.test_x[0])
+        assert proof.prediction == expected
+
+
+@pytest.mark.slow
+class TestBlockCircuitSpartan:
+    def test_full_block_circuit_proves(self):
+        """A transformer block's gadget circuit (layernorm + softmax +
+        GELU) proven end-to-end with the transparent backend."""
+        cs = compile_block_circuit(tokens=2, dim=8, frac_bits=8)
+        assert cs.is_satisfied()
+        inst = cs.specialize(1)
+        proof = spartan_prove(inst, cs.assignment(), Transcript(b"block"))
+        assert spartan_verify(
+            inst, cs.public_inputs(), proof, Transcript(b"block")
+        )

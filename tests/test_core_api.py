@@ -1,0 +1,175 @@
+"""zkVC public API: prove/verify matmuls on both backends, CRPC math, PSQ
+accounting."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    MatmulProver,
+    crpc_identity_holds,
+    left_wire_report,
+    pack_w_row,
+    pack_x_column,
+    pack_y,
+    prefix_sums,
+    prove_matmul,
+    psq_reduction_factor,
+    theory_counts,
+    verify_matmul,
+)
+from repro.field.prime_field import BN254_FR_MODULUS
+from repro.gadgets.matmul import MatmulCircuit
+
+R = BN254_FR_MODULUS
+
+
+def rand_mats(a, n, b, seed=0):
+    rng = random.Random(seed)
+    x = [[rng.randrange(-40, 40) for _ in range(n)] for _ in range(a)]
+    w = [[rng.randrange(-40, 40) for _ in range(b)] for _ in range(n)]
+    return x, w
+
+
+class TestCrpcMath:
+    def test_identity_holds_for_products(self):
+        x, w = rand_mats(3, 4, 2, seed=1)
+        y = [
+            [sum(x[i][k] * w[k][j] for k in range(4)) for j in range(2)]
+            for i in range(3)
+        ]
+        for z in (2, 12345, 10 ** 18):
+            assert crpc_identity_holds(x, w, y, z)
+
+    def test_identity_fails_for_wrong_product(self):
+        x, w = rand_mats(3, 4, 2, seed=2)
+        y = [
+            [sum(x[i][k] * w[k][j] for k in range(4)) for j in range(2)]
+            for i in range(3)
+        ]
+        y[0][0] += 1
+        assert not crpc_identity_holds(x, w, y, 987654321)
+
+    def test_packing_helpers(self):
+        x, w = rand_mats(2, 2, 2, seed=3)
+        z = 100
+        # X_0(z) = x00 + z^2 x10 for b=2.
+        assert pack_x_column(x, 0, 2, z) == (
+            x[0][0] + pow(z, 2, R) * x[1][0]
+        ) % R
+        assert pack_w_row(w, 1, z) == (w[1][0] + z * w[1][1]) % R
+        y = [[1, 2], [3, 4]]
+        assert pack_y(y, 2, z) == (1 + 2 * z + 3 * z ** 2 + 4 * z ** 3) % R
+
+    def test_prefix_sums(self):
+        assert prefix_sums([1, 2, 3]) == [1, 3, 6]
+        assert prefix_sums([]) == []
+
+    def test_theory_counts_complexity_claims(self):
+        n = 8
+        vanilla = theory_counts(n, n, n, "vanilla")
+        zkvc = theory_counts(n, n, n, "crpc_psq")
+        # O(n^3) -> O(n) constraints.
+        assert vanilla.constraints >= n ** 3
+        assert zkvc.constraints == n
+        # O(n^3) -> O(n^2) variables.
+        assert vanilla.variables > n ** 3
+        assert zkvc.variables < 4 * n ** 2
+
+    def test_theory_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            theory_counts(2, 2, 2, "bogus")
+
+
+class TestPsqAccounting:
+    def test_reduction_factor(self):
+        a, n, b = 4, 8, 4
+        without = left_wire_report(
+            "vanilla", MatmulCircuit(a, n, b, "vanilla").cs
+        )
+        with_psq = left_wire_report(
+            "vanilla_psq", MatmulCircuit(a, n, b, "vanilla_psq").cs
+        )
+        factor = psq_reduction_factor(without, with_psq)
+        # PSQ halves the A-side terms of the vanilla circuit (paper: a
+        # substantial cut of the R1CS computation).
+        assert factor == pytest.approx(0.5, abs=0.05)
+
+    def test_crpc_psq_left_wires(self):
+        a, n, b = 4, 8, 4
+        rep = left_wire_report(
+            "crpc_psq", MatmulCircuit(a, n, b, "crpc_psq").cs
+        )
+        assert rep.a_wires == a * n
+
+
+@pytest.mark.parametrize("backend", ["groth16", "spartan"])
+class TestProveVerify:
+    def test_roundtrip_and_tamper(self, backend):
+        x, w = rand_mats(3, 4, 2, seed=5)
+        prover = MatmulProver(3, 4, 2, strategy="crpc_psq", backend=backend)
+        bundle = prover.prove(x, w)
+        assert prover.verify(bundle)
+        bundle.y[0][0] = (bundle.y[0][0] + 1) % R
+        assert not prover.verify(bundle)
+
+    def test_prover_reuse(self, backend):
+        prover = MatmulProver(2, 3, 2, strategy="crpc_psq", backend=backend)
+        for seed in (1, 2):
+            x, w = rand_mats(2, 3, 2, seed=seed)
+            bundle = prover.prove(x, w)
+            assert prover.verify(bundle)
+
+    def test_timings_recorded(self, backend):
+        x, w = rand_mats(2, 2, 2, seed=7)
+        prover = MatmulProver(2, 2, 2, strategy="crpc_psq", backend=backend)
+        bundle = prover.prove(x, w)
+        prover.verify(bundle)
+        assert bundle.timings["prove"] > 0
+        assert bundle.timings["verify"] > 0
+        assert bundle.proof_size_bytes() > 0
+
+
+class TestSpartanBinding:
+    def test_packing_point_bound_to_inputs(self):
+        """The Spartan flow derives z from commitment || Y; substituting a
+        different z must be rejected before verification even runs."""
+        x, w = rand_mats(2, 3, 2, seed=8)
+        prover = MatmulProver(2, 3, 2, strategy="crpc_psq", backend="spartan")
+        bundle = prover.prove(x, w)
+        bundle.z = (bundle.z + 1) % R
+        assert not prover.verify(bundle)
+
+    def test_commitment_tamper_rejected(self):
+        x, w = rand_mats(2, 3, 2, seed=9)
+        prover = MatmulProver(2, 3, 2, strategy="crpc_psq", backend="spartan")
+        bundle = prover.prove(x, w)
+        bundle.commitment = b"\x00" * len(bundle.commitment)
+        assert not prover.verify(bundle)
+
+    def test_fresh_salt_per_proof(self):
+        x, w = rand_mats(2, 3, 2, seed=10)
+        prover = MatmulProver(2, 3, 2, strategy="crpc_psq", backend="spartan")
+        b1 = prover.prove(x, w)
+        b2 = prover.prove(x, w)
+        assert b1.commitment != b2.commitment
+        assert b1.z != b2.z
+
+
+class TestConvenienceWrappers:
+    def test_prove_matmul_oneshot(self):
+        x, w = rand_mats(2, 2, 2, seed=11)
+        bundle, prover = prove_matmul(x, w, backend="spartan")
+        assert verify_matmul(bundle, prover)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            prove_matmul([[1, 2]], [[1], [2], [3]])
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            MatmulProver(2, 2, 2, backend="starks")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            MatmulProver(2, 2, 2, strategy="quantum")

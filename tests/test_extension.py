@@ -1,0 +1,100 @@
+"""Ring-axiom and inverse tests for the Fq2/Fq12 tower."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.extension import Fq2, Fq12, P
+
+coeff = st.integers(min_value=0, max_value=P - 1)
+fq2_elems = st.builds(lambda a, b: Fq2([a, b]), coeff, coeff)
+fq12_elems = st.builds(
+    lambda cs: Fq12(cs), st.lists(coeff, min_size=12, max_size=12)
+)
+
+
+class TestFq2:
+    def test_u_squared_is_minus_one(self):
+        u = Fq2([0, 1])
+        assert u * u == Fq2([P - 1, 0])
+
+    @given(fq2_elems, fq2_elems)
+    def test_mul_commutes(self, a, b):
+        assert a * b == b * a
+
+    @given(fq2_elems, fq2_elems, fq2_elems)
+    def test_mul_distributes(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(fq2_elems)
+    def test_inverse(self, a):
+        if a.is_zero():
+            with pytest.raises(ZeroDivisionError):
+                a.inv()
+        else:
+            assert a * a.inv() == Fq2.one()
+
+    @given(fq2_elems)
+    def test_closed_form_inverse_matches_euclid(self, a):
+        if not a.is_zero():
+            # The generic ExtElem.inv (Euclid) must agree with Fq2's
+            # closed form.
+            generic = super(Fq2, a).inv()
+            assert a.inv() == generic
+
+    def test_conjugate_norm(self):
+        a = Fq2([3, 4])
+        n = a * a.conjugate()
+        assert n.coeffs[1] == 0
+        assert n.coeffs[0] == (3 * 3 + 4 * 4) % P
+
+    def test_int_coercion(self):
+        assert Fq2([5, 0]) == 5
+        assert Fq2([3, 0]) + 2 == Fq2([5, 0])
+        assert Fq2([3, 1]) * 2 == Fq2([6, 2])
+
+    def test_division(self):
+        a, b = Fq2([3, 7]), Fq2([2, 9])
+        assert (a / b) * b == a
+
+
+class TestFq12:
+    def test_modulus_relation(self):
+        # w^12 = 18 w^6 - 82
+        w = Fq12([0, 1] + [0] * 10)
+        lhs = w ** 12
+        rhs = w ** 6 * 18 - Fq12.from_int(82)
+        assert lhs == rhs
+
+    @given(fq12_elems, fq12_elems)
+    def test_mul_commutes(self, a, b):
+        assert a * b == b * a
+
+    @given(fq12_elems)
+    def test_inverse(self, a):
+        if not a.is_zero():
+            assert a * a.inv() == Fq12.one()
+
+    @given(fq12_elems)
+    def test_pow_matches_repeated_mul(self, a):
+        acc = Fq12.one()
+        for _ in range(5):
+            acc = acc * a
+        assert a ** 5 == acc
+
+    def test_pow_negative_exponent(self):
+        a = Fq12([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+        assert a ** -2 == (a ** 2).inv()
+
+    def test_coefficient_count_enforced(self):
+        with pytest.raises(ValueError):
+            Fq12([1, 2, 3])
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(TypeError):
+            Fq12.one() + Fq2.one()
+
+    def test_sub_neg(self):
+        a = Fq12.from_int(9)
+        assert a - a == Fq12.zero()
+        assert -a + a == Fq12.zero()

@@ -1,0 +1,198 @@
+"""Bit/comparison/fixed-point gadget tests, including soundness probes
+(can a dishonest witness satisfy the constraints?)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.prime_field import BN254_FR_MODULUS
+from repro.gadgets.bits import (
+    assert_in_range,
+    assert_less_equal,
+    bit_decompose,
+    field_to_signed,
+    is_greater_equal,
+    max_gadget,
+)
+from repro.gadgets.fixedpoint import (
+    fixed_mul_gadget,
+    from_fixed,
+    rescale_gadget,
+    signed_rescale_gadget,
+    to_fixed,
+)
+from repro.r1cs import LC, ConstraintSystem
+
+R = BN254_FR_MODULUS
+
+
+class TestFieldToSigned:
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_roundtrip(self, v):
+        assert field_to_signed(v % R) == v
+
+    def test_boundary(self):
+        assert field_to_signed(R // 2) == R // 2
+        assert field_to_signed(R // 2 + 1) == R // 2 + 1 - R
+
+
+class TestBitDecompose:
+    @given(st.integers(min_value=0, max_value=255))
+    def test_bits_correct(self, v):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", v)
+        bits = bit_decompose(cs, w, 8)
+        assert cs.is_satisfied()
+        assert [cs.value(b) for b in bits] == [(v >> i) & 1 for i in range(8)]
+
+    def test_out_of_range_value_rejected_at_fill(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", 256)
+        with pytest.raises(ValueError):
+            bit_decompose(cs, w, 8)
+
+    def test_nonboolean_bit_fails_constraints(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", 5)
+        bits = bit_decompose(cs, w, 4)
+        cs.set_value(bits[0], 2)  # dishonest
+        assert not cs.is_satisfied()
+
+    def test_wrong_recomposition_fails(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", 5)
+        bits = bit_decompose(cs, w, 4)
+        cs.set_value(bits[0], 0)
+        cs.set_value(bits[1], 0)
+        assert not cs.is_satisfied()
+
+    def test_assert_in_range_alias(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", 100)
+        assert_in_range(cs, w, 7)
+        assert cs.is_satisfied()
+
+
+class TestComparisons:
+    @given(st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=15)
+    def test_assert_less_equal(self, a, b):
+        cs = ConstraintSystem()
+        wa = cs.alloc_public("a", a)
+        wb = cs.alloc_public("b", b)
+        if a <= b:
+            assert_less_equal(cs, wa, wb, 8)
+            assert cs.is_satisfied()
+        else:
+            with pytest.raises(ValueError):
+                assert_less_equal(cs, wa, wb, 8)
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    @settings(max_examples=15)
+    def test_is_greater_equal_value(self, a, b):
+        cs = ConstraintSystem()
+        wa = cs.alloc_public("a", a % R)
+        wb = cs.alloc_public("b", b % R)
+        s = is_greater_equal(cs, wa, wb, 10)
+        assert cs.value(s) == (1 if a >= b else 0)
+        assert cs.is_satisfied()
+
+    def test_selector_flip_fails(self):
+        cs = ConstraintSystem()
+        wa = cs.alloc_public("a", 5)
+        wb = cs.alloc_public("b", 3)
+        s = is_greater_equal(cs, wa, wb, 8)
+        cs.set_value(s, 0)  # lie about the comparison
+        assert not cs.is_satisfied()
+
+
+class TestMaxGadget:
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=6))
+    @settings(max_examples=15)
+    def test_max_value(self, values):
+        cs = ConstraintSystem()
+        wires = [cs.alloc_public(f"x{i}", v % R) for i, v in enumerate(values)]
+        m = max_gadget(cs, wires, 10)
+        assert field_to_signed(cs.value(m)) == max(values)
+        assert cs.is_satisfied()
+
+    def test_overstated_max_fails_membership(self):
+        """x_max larger than every element passes the comparisons but fails
+        the product-is-zero membership constraint (paper Sec. III-C)."""
+        cs = ConstraintSystem()
+        wires = [cs.alloc_public(f"x{i}", v) for i, v in enumerate([3, 7, 5])]
+        m = max_gadget(cs, wires, 8)
+        cs.set_value(m, 9)  # not a member
+        assert not cs.is_satisfied()
+
+    def test_understated_max_fails_comparison(self):
+        cs = ConstraintSystem()
+        wires = [cs.alloc_public(f"x{i}", v) for i, v in enumerate([3, 7, 5])]
+        max_gadget(cs, wires, 8)
+        # Witness was honest; corrupting the max downward breaks the
+        # (already-decomposed) le-diff wires -> unsatisfied.
+        m_wire = next(
+            i for i, name in enumerate(cs.wire_names) if name == "max-val"
+        )
+        cs.set_value(m_wire, 5)
+        assert not cs.is_satisfied()
+
+    def test_empty_rejected(self):
+        cs = ConstraintSystem()
+        with pytest.raises(ValueError):
+            max_gadget(cs, [], 8)
+
+
+class TestFixedPoint:
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_to_from_fixed(self, x):
+        assert abs(from_fixed(to_fixed(x, 12), 12) - x) <= 2 ** -12
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=15)
+    def test_rescale_matches_floor(self, v):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", v)
+        q = rescale_gadget(cs, w, 8, 14)
+        assert cs.value(q) == v >> 8
+        assert cs.is_satisfied()
+
+    def test_rescale_rejects_negative(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", (-5) % R)
+        with pytest.raises(ValueError):
+            rescale_gadget(cs, w, 4, 8)
+
+    def test_rescale_remainder_cheat_fails(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", 1000)
+        q = rescale_gadget(cs, w, 4, 10)
+        cs.set_value(q, cs.value(q) + 1)
+        assert not cs.is_satisfied()
+
+    @given(st.integers(-10 ** 5, 10 ** 5))
+    @settings(max_examples=15)
+    def test_signed_rescale_matches_python_floor(self, v):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", v % R)
+        q = signed_rescale_gadget(cs, w, 6, 14)
+        assert field_to_signed(cs.value(q)) == v >> 6  # arithmetic shift
+        assert cs.is_satisfied()
+
+    def test_signed_rescale_magnitude_check(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("v", 1 << 30)
+        with pytest.raises(ValueError):
+            signed_rescale_gadget(cs, w, 4, 10)
+
+    @given(st.floats(-5, 5), st.floats(-5, 5))
+    @settings(max_examples=15)
+    def test_fixed_mul(self, a, b):
+        f = 10
+        cs = ConstraintSystem()
+        wa = cs.alloc_public("a", to_fixed(a, f) % R)
+        wb = cs.alloc_public("b", to_fixed(b, f) % R)
+        _, out = fixed_mul_gadget(cs, wa, wb, f, 8)
+        got = field_to_signed(cs.value(out)) / (1 << f)
+        assert abs(got - a * b) < 0.01
+        assert cs.is_satisfied()

@@ -1,0 +1,190 @@
+"""All six matmul circuit strategies: satisfaction, soundness probes, and
+the constraint/variable accounting the paper claims."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crpc import theory_counts
+from repro.field.prime_field import BN254_FR_MODULUS
+from repro.gadgets.matmul import STRATEGIES, MatmulCircuit
+
+R = BN254_FR_MODULUS
+
+shapes = st.tuples(
+    st.integers(1, 4), st.integers(1, 5), st.integers(1, 4)
+)
+
+
+def rand_mats(a, n, b, seed=0, lo=0, hi=100):
+    rng = random.Random(seed)
+    x = [[rng.randrange(lo, hi) for _ in range(n)] for _ in range(a)]
+    w = [[rng.randrange(lo, hi) for _ in range(b)] for _ in range(n)]
+    return x, w
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestStrategyCorrectness:
+    def test_satisfied_on_random_input(self, strategy):
+        mc = MatmulCircuit(3, 4, 2, strategy)
+        x, w = rand_mats(3, 4, 2, seed=1)
+        z = mc.packing_point()
+        mc.assign(x, w, z)
+        assert mc.cs.is_satisfied(z), mc.cs.first_unsatisfied(z)
+
+    def test_output_matches_reference(self, strategy):
+        mc = MatmulCircuit(2, 3, 2, strategy)
+        x, w = rand_mats(2, 3, 2, seed=2)
+        y = mc.assign(x, w)
+        for i in range(2):
+            for j in range(2):
+                ref = sum(x[i][k] * w[k][j] for k in range(3)) % R
+                assert y[i][j] == ref
+
+    def test_tampered_output_rejected(self, strategy):
+        mc = MatmulCircuit(3, 4, 2, strategy)
+        x, w = rand_mats(3, 4, 2, seed=3)
+        z = mc.packing_point()
+        y = mc.assign(x, w, z)
+        mc.cs.set_value(mc.y_wires[1][1], (y[1][1] + 1) % R)
+        assert not mc.cs.is_satisfied(z)
+
+    def test_tampered_weight_rejected(self, strategy):
+        mc = MatmulCircuit(2, 3, 2, strategy)
+        x, w = rand_mats(2, 3, 2, seed=4)
+        z = mc.packing_point()
+        mc.assign(x, w, z)
+        mc.cs.set_value(mc.w_wires[0][0], (w[0][0] + 1) % R)
+        assert not mc.cs.is_satisfied(z)
+
+    def test_identity_matrix(self, strategy):
+        n = 3
+        mc = MatmulCircuit(n, n, n, strategy)
+        eye = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+        x, _ = rand_mats(n, n, n, seed=5)
+        y = mc.assign(x, eye)
+        z = mc.packing_point()
+        assert mc.cs.is_satisfied(z)
+        assert y == [[v % R for v in row] for row in x]
+
+    def test_rectangular_shapes(self, strategy):
+        for a, n, b in [(1, 1, 1), (1, 4, 2), (4, 2, 1), (2, 5, 3)]:
+            mc = MatmulCircuit(a, n, b, strategy)
+            x, w = rand_mats(a, n, b, seed=a * 100 + n * 10 + b)
+            mc.assign(x, w)
+            assert mc.cs.is_satisfied(mc.packing_point()), (strategy, a, n, b)
+
+
+@pytest.mark.parametrize("strategy", ["vanilla", "vanilla_psq", "crpc",
+                                      "crpc_psq"])
+class TestSignedInputs:
+    def test_negative_values(self, strategy):
+        mc = MatmulCircuit(2, 3, 2, strategy)
+        x, w = rand_mats(2, 3, 2, seed=6, lo=-50, hi=50)
+        y = mc.assign(x, w)
+        z = mc.packing_point()
+        assert mc.cs.is_satisfied(z)
+        for i in range(2):
+            for j in range(2):
+                ref = sum(x[i][k] * w[k][j] for k in range(3)) % R
+                assert y[i][j] == ref
+
+
+class TestConstraintAccounting:
+    """The paper's headline counts: CRPC n constraints, PSQ a*n left wires."""
+
+    @given(shapes)
+    @settings(max_examples=10)
+    def test_crpc_psq_has_n_constraints(self, shape):
+        a, n, b = shape
+        mc = MatmulCircuit(a, n, b, "crpc_psq")
+        assert len(mc.cs.constraints) == n
+
+    @given(shapes)
+    @settings(max_examples=10)
+    def test_vanilla_has_abn_plus_ab_constraints(self, shape):
+        a, n, b = shape
+        mc = MatmulCircuit(a, n, b, "vanilla")
+        assert len(mc.cs.constraints) == a * b * n + a * b
+
+    @given(shapes)
+    @settings(max_examples=10)
+    def test_psq_left_wires_are_an(self, shape):
+        a, n, b = shape
+        stats = MatmulCircuit(a, n, b, "crpc_psq").cs.stats()
+        assert stats.a_wires == a * n
+        assert stats.a_terms == a * n
+
+    def test_theory_matches_builder_for_all_strategies(self):
+        for strategy in STRATEGIES:
+            for a, n, b in [(2, 3, 2), (3, 4, 2), (2, 2, 2)]:
+                mc = MatmulCircuit(a, n, b, strategy)
+                th = theory_counts(a, n, b, strategy)
+                stats = mc.cs.stats()
+                assert stats.num_constraints == th.constraints, strategy
+                # +1: theory excludes the constant-one wire.
+                assert stats.num_wires == th.variables + 1, strategy
+
+    def test_paper_fig4_example(self):
+        """Fig. 4: [3,2]x[2,2] has 12 multiplications vanilla, 2 with CRPC."""
+        vanilla = MatmulCircuit(3, 2, 2, "vanilla")
+        product_constraints = [
+            c for c in vanilla.cs.constraints if c.label.startswith("prod")
+        ]
+        assert len(product_constraints) == 12
+        crpc = MatmulCircuit(3, 2, 2, "crpc_psq")
+        assert len(crpc.cs.constraints) == 2
+
+    def test_fig5_left_wire_reduction(self):
+        """Fig. 5: a 1x3 dot product uses 6 left wires vanilla, 3 with PSQ."""
+        vanilla = MatmulCircuit(1, 3, 1, "vanilla").cs.stats()
+        psq = MatmulCircuit(1, 3, 1, "vanilla_psq").cs.stats()
+        assert vanilla.a_wires == 6
+        assert psq.a_wires == 3
+
+    def test_packing_degrees(self):
+        mc = MatmulCircuit(3, 4, 2, "crpc_psq")
+        # max degree is (a-1)*b + (b-1) from the packed Y.
+        assert mc.cs.max_z_degree() == (3 - 1) * 2 + (2 - 1)
+        assert MatmulCircuit(3, 4, 2, "vanilla").cs.max_z_degree() == 0
+
+
+class TestCircuitIdentity:
+    def test_circuit_id_depends_on_shape_and_strategy(self):
+        a = MatmulCircuit(2, 3, 2, "crpc_psq")
+        b = MatmulCircuit(2, 3, 2, "vanilla")
+        c = MatmulCircuit(2, 4, 2, "crpc_psq")
+        assert a.circuit_id() != b.circuit_id()
+        assert a.circuit_id() != c.circuit_id()
+
+    def test_packing_point_extra_entropy(self):
+        mc = MatmulCircuit(2, 3, 2, "crpc_psq")
+        assert mc.packing_point() != mc.packing_point(b"commitment")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            MatmulCircuit(2, 2, 2, "nope")
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            MatmulCircuit(0, 2, 2, "vanilla")
+
+
+class TestCrpcSoundnessAtRandomZ:
+    def test_wrong_product_caught_whp(self):
+        """A corrupted product that satisfies the packed identity at one z
+        must fail at the circuit's own packing point (Schwartz-Zippel)."""
+        a, n, b = 2, 2, 2
+        mc = MatmulCircuit(a, n, b, "crpc_psq")
+        x, w = rand_mats(a, n, b, seed=9)
+        z = mc.packing_point()
+        y = mc.assign(x, w, z)
+        # Corrupt two outputs so their packed sum at z=1 is unchanged
+        # (classic attack against a *fixed* packing point of 1).
+        mc.cs.set_value(mc.y_wires[0][0], (y[0][0] + 1) % R)
+        mc.cs.set_value(mc.y_wires[0][1], (y[0][1] - 1) % R)
+        assert not mc.cs.is_satisfied(z)  # random z catches it
+        # ... while z=1 packing would have been fooled on the final
+        # constraint's Y side (demonstrating why z must be random).

@@ -1,0 +1,100 @@
+"""Multilinear-extension properties used by Spartan and zkCNN."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.prime_field import BN254_FR_MODULUS
+from repro.poly.multilinear import (
+    MultilinearPoly,
+    eq_eval,
+    eq_evals,
+    index_bits,
+)
+
+R = BN254_FR_MODULUS
+elems = st.integers(min_value=0, max_value=R - 1)
+
+
+class TestMultilinearPoly:
+    @given(st.lists(elems, min_size=8, max_size=8))
+    def test_agrees_on_hypercube(self, evals):
+        p = MultilinearPoly(evals)
+        for idx, v in enumerate(evals):
+            point = index_bits(idx, p.num_vars)
+            assert p.evaluate(point) == v % R
+
+    @given(st.lists(elems, min_size=4, max_size=4), elems, elems)
+    def test_multilinearity_in_each_var(self, evals, r, s):
+        # p(r,...) is affine in r: p((r+s)/1 combination) check via two-point.
+        p = MultilinearPoly(evals)
+        half = (r + s) * pow(2, R - 2, R) % R
+        v_r = p.evaluate([r, 0])
+        v_s = p.evaluate([s, 0])
+        v_mid = p.evaluate([half, 0])
+        assert v_mid == (v_r + v_s) * pow(2, R - 2, R) % R
+
+    def test_bind_first_var(self):
+        p = MultilinearPoly([1, 2, 3, 4])
+        r = 12345
+        bound = p.bind_first_var(r)
+        assert bound.num_vars == 1
+        for x in (0, 1, 777):
+            assert bound.evaluate([x]) == p.evaluate([r, x])
+
+    def test_from_vector_pads(self):
+        p = MultilinearPoly.from_vector([5, 6, 7], 2)
+        assert p.evals == [5, 6, 7, 0]
+
+    def test_from_vector_too_long(self):
+        with pytest.raises(ValueError):
+            MultilinearPoly.from_vector([1] * 5, 2)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            MultilinearPoly([1, 2, 3])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            MultilinearPoly([1, 2]).evaluate([1, 2])
+
+
+class TestEq:
+    @given(st.lists(elems, min_size=1, max_size=4))
+    def test_eq_evals_sum_to_one(self, point):
+        # sum_b eq(point, b) == 1 (partition of unity).
+        assert sum(eq_evals(point)) % R == 1
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=4))
+    def test_eq_indicator_on_booleans(self, bits):
+        table = eq_evals(bits)
+        idx = int("".join(map(str, bits)), 2)
+        for i, v in enumerate(table):
+            assert v == (1 if i == idx else 0)
+
+    @given(st.lists(elems, min_size=3, max_size=3))
+    def test_eq_eval_matches_table(self, point):
+        table = eq_evals(point)
+        for idx in range(8):
+            bits = index_bits(idx, 3)
+            assert eq_eval(point, bits) == table[idx]
+
+    def test_eq_eval_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            eq_eval([1], [1, 2])
+
+    def test_evaluate_via_eq_identity(self):
+        # v~(r) == sum_b v[b] eq(r, b)
+        evals = [9, 8, 7, 6]
+        p = MultilinearPoly(evals)
+        r = [12345, 67890]
+        table = eq_evals(r)
+        expected = sum(v * e for v, e in zip(evals, table)) % R
+        assert p.evaluate(r) == expected
+
+
+class TestIndexBits:
+    def test_big_endian(self):
+        assert index_bits(5, 3) == [1, 0, 1]
+        assert index_bits(1, 3) == [0, 0, 1]
+        assert index_bits(0, 2) == [0, 0]

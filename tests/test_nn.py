@@ -1,0 +1,275 @@
+"""NN modules: layers, token mixers, transformer models, datasets,
+training, and quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    PatchEmbed,
+    Tensor,
+    TextTransformer,
+    Transformer,
+    VisionTransformer,
+    evaluate,
+    int_matmul_rescale,
+    make_mixer,
+    make_nlp_task,
+    make_patch_retrieval_images,
+    make_vision_dataset,
+    quantize,
+    requantize,
+    train_model,
+    uniform_plan,
+)
+from repro.nn.attention import (
+    LinearMixer,
+    PoolingMixer,
+    ScalingAttention,
+    SoftmaxAttention,
+)
+from repro.nn.datasets import NLP_TASKS
+from repro.nn.transformer import (
+    PAPER_CONFIGS,
+    bert_small_config,
+    metaformer_imagenet_config,
+    vit_cifar_config,
+    vit_tiny_imagenet_config,
+)
+
+
+@pytest.fixture
+def nprng():
+    return np.random.default_rng(0)
+
+
+class TestLayers:
+    def test_linear_shapes(self, nprng):
+        lin = Linear(4, 6, nprng)
+        out = lin(Tensor(nprng.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 3, 6)
+
+    def test_layernorm_affine(self, nprng):
+        ln = LayerNorm(8)
+        ln.gamma.data[:] = 2.0
+        ln.beta.data[:] = 1.0
+        out = ln(Tensor(nprng.normal(size=(3, 8))))
+        assert np.allclose(out.data.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_mlp_roundtrip(self, nprng):
+        mlp = MLP(4, 8, nprng)
+        out = mlp(Tensor(nprng.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 4)
+
+    def test_embedding_lookup(self, nprng):
+        emb = Embedding(10, 6, nprng)
+        ids = np.array([[1, 2], [3, 4]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 6)
+        assert np.allclose(out.data[0, 0], emb.table.data[1])
+
+    def test_patch_embed_grid(self, nprng):
+        pe = PatchEmbed(16, 4, 8, nprng)
+        assert pe.num_tokens == 16
+        images = nprng.normal(size=(2, 16, 16))
+        patches = pe.patches(images)
+        assert patches.shape == (2, 16, 16)
+        # A patch is the contiguous 4x4 block.
+        assert np.allclose(patches[0, 0], images[0, :4, :4].reshape(-1))
+        assert pe(images).shape == (2, 16, 8)
+
+    def test_patch_embed_divisibility(self, nprng):
+        with pytest.raises(ValueError):
+            PatchEmbed(10, 4, 8, nprng)
+
+    def test_parameters_collected(self, nprng):
+        model = Transformer(8, 2, 4, 3, ["softmax", "pooling"], nprng)
+        names = len(model.parameters())
+        # head + norm(2) + per-block params; pooling block has no mixer
+        # params but still norms+mlp.
+        assert names > 10
+
+
+class TestMixers:
+    @pytest.mark.parametrize("name", ["softmax", "scaling", "pooling",
+                                      "linear"])
+    def test_forward_shapes(self, name, nprng):
+        mixer = make_mixer(name, 8, 2, 6, nprng)
+        out = mixer(Tensor(nprng.normal(size=(2, 6, 8))))
+        assert out.shape == (2, 6, 8)
+
+    def test_unknown_mixer(self, nprng):
+        with pytest.raises(ValueError):
+            make_mixer("fft", 8, 2, 6, nprng)
+
+    def test_heads_divide_dim(self, nprng):
+        with pytest.raises(ValueError):
+            SoftmaxAttention(9, 2, nprng)
+
+    def test_softmax_attention_attends(self, nprng):
+        """Output of a token must depend on other tokens' content."""
+        att = SoftmaxAttention(8, 2, nprng)
+        x = nprng.normal(size=(1, 4, 8))
+        base = att(Tensor(x)).data[0, 0].copy()
+        x2 = x.copy()
+        x2[0, 3] += 5.0  # perturb a *different* token
+        moved = att(Tensor(x2)).data[0, 0]
+        assert not np.allclose(base, moved)
+
+    def test_pooling_plus_residual_is_mean(self, nprng):
+        mixer = PoolingMixer(8, nprng)
+        x = nprng.normal(size=(1, 4, 8))
+        out = mixer(Tensor(x)).data + x  # residual add
+        assert np.allclose(out, np.broadcast_to(x.mean(axis=1, keepdims=True), x.shape))
+
+    @pytest.mark.parametrize("name,heads", [("softmax", 2), ("scaling", 2)])
+    def test_proving_profiles_shapes(self, name, heads, nprng):
+        mixer = make_mixer(name, 8, heads, 6, nprng)
+        shapes = mixer.proving_profile(6, 8)
+        assert shapes[0] == (6, 8, 24)  # qkv
+        assert shapes[-1] == (6, 8, 8)  # proj
+        assert len(shapes) == 2 + 2 * heads
+
+    def test_linear_mixer_profile(self, nprng):
+        mixer = LinearMixer(8, 6, nprng)
+        assert mixer.proving_profile(6, 8) == [(8, 6, 6)]
+
+    def test_softmax_rows_flag(self, nprng):
+        assert SoftmaxAttention(8, 2, nprng).softmax_rows
+        assert not ScalingAttention(8, 2, nprng).softmax_rows
+
+
+class TestModels:
+    def test_vision_forward(self, nprng):
+        model = VisionTransformer(
+            16, 4, 16, 2, 4, uniform_plan("softmax", 2), nprng
+        )
+        logits = model(nprng.normal(size=(3, 16, 16)))
+        assert logits.shape == (3, 4)
+
+    def test_text_forward(self, nprng):
+        model = TextTransformer(
+            12, 8, 16, 2, 3, uniform_plan("scaling", 2), nprng
+        )
+        logits = model(nprng.integers(0, 12, size=(3, 8)))
+        assert logits.shape == (3, 3)
+
+    def test_mixed_plan(self, nprng):
+        model = VisionTransformer(
+            16, 4, 16, 2, 4, ["pooling", "softmax"], nprng
+        )
+        assert model.encoder.blocks[0].mixer_name == "pooling"
+        assert model.encoder.blocks[1].mixer_name == "softmax"
+
+    def test_uniform_plan_validation(self):
+        with pytest.raises(ValueError):
+            uniform_plan("bogus", 3)
+
+
+class TestPaperConfigs:
+    def test_configs_match_paper(self):
+        c = vit_cifar_config()
+        assert c.total_layers == 7 and c.stages[0].dim == 256
+        assert c.stages[0].tokens == 64  # 32/4 squared
+        t = vit_tiny_imagenet_config()
+        assert t.total_layers == 9 and t.stages[0].heads == 12
+        m = metaformer_imagenet_config()
+        assert [s.dim for s in m.stages] == [64, 128, 320, 512]
+        assert m.stages[0].tokens == 3136  # (224/4)^2
+        b = bert_small_config()
+        assert b.total_layers == 4 and b.stages[0].dim == 256
+
+    def test_layer_specs_expansion(self):
+        m = metaformer_imagenet_config()
+        specs = m.layer_specs()
+        assert len(specs) == 12
+        assert specs[0].dim == 64 and specs[-1].dim == 512
+
+    def test_registry(self):
+        assert set(PAPER_CONFIGS) == {
+            "cifar10", "tiny-imagenet", "imagenet", "bert",
+        }
+
+
+class TestDatasets:
+    def test_vision_shapes_and_labels(self):
+        data = make_patch_retrieval_images(40, num_classes=4, seed=1)
+        assert data.train_x.shape[1:] == (16, 16)
+        assert set(np.unique(data.train_y)) <= set(range(4))
+        assert len(data.test_x) == 10
+
+    def test_vision_presets(self):
+        for preset in ("cifar10", "tiny-imagenet", "imagenet"):
+            data = make_vision_dataset(preset, 20, seed=2)
+            assert len(data.train_x) + len(data.test_x) == 20
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            make_vision_dataset("mnist", 10)
+
+    def test_too_many_distractors(self):
+        with pytest.raises(ValueError):
+            make_patch_retrieval_images(5, num_distractors=100)
+
+    @pytest.mark.parametrize("task", NLP_TASKS)
+    def test_nlp_tasks(self, task):
+        data, classes = make_nlp_task(task, 60, seed=3)
+        assert data.train_x.dtype == np.int64
+        assert set(np.unique(data.train_y)) <= set(range(classes))
+        # Both classes represented.
+        assert len(np.unique(data.train_y)) == classes
+
+    def test_unknown_nlp_task(self):
+        with pytest.raises(ValueError):
+            make_nlp_task("cola", 10)
+
+    def test_dataset_determinism(self):
+        d1 = make_vision_dataset("cifar10", 20, seed=7)
+        d2 = make_vision_dataset("cifar10", 20, seed=7)
+        assert np.array_equal(d1.train_x, d2.train_x)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        data = make_vision_dataset("cifar10", 120, seed=4)
+        rng = np.random.default_rng(0)
+        model = VisionTransformer(
+            16, 4, 16, 2, 8, uniform_plan("softmax", 1), rng
+        )
+        res = train_model(model, data, epochs=3, lr=0.05)
+        assert res.losses[-1] < res.losses[0]
+        assert 0.0 <= res.test_acc <= 1.0
+
+    def test_evaluate_bounds(self):
+        data = make_vision_dataset("cifar10", 40, seed=5)
+        rng = np.random.default_rng(0)
+        model = VisionTransformer(
+            16, 4, 8, 2, 8, uniform_plan("pooling", 1), rng
+        )
+        acc = evaluate(model, data.test_x, data.test_y)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestQuantize:
+    def test_roundtrip_error_bounded(self, nprng):
+        x = nprng.normal(size=(5, 5))
+        q = quantize(x, 8)
+        assert np.max(np.abs(q.dequantize() - x)) <= 2 ** -8
+
+    def test_clipping(self):
+        q = quantize(np.array([1e9]), 8, clip_bits=16)
+        assert q.values[0] == (1 << 16) - 1
+
+    def test_requantize_floor_semantics(self):
+        v = np.array([-5, 5, -16, 16], dtype=np.int64)
+        assert list(requantize(v, 2)) == [-2, 1, -4, 4]
+
+    def test_int_matmul_rescale(self):
+        f = 4
+        x = quantize(np.array([[1.0, 2.0]]), f).values
+        w = quantize(np.array([[0.5], [0.25]]), f).values
+        out = int_matmul_rescale(x, w, f)
+        assert abs(out[0, 0] / (1 << f) - 1.0) < 0.1

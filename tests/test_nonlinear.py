@@ -1,0 +1,215 @@
+"""Nonlinear-approximation gadgets: accuracy vs the float references and
+constraint satisfaction/soundness (paper Sec. III-C)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.prime_field import BN254_FR_MODULUS
+from repro.gadgets.bits import field_to_signed
+from repro.gadgets.layernorm import layernorm_gadget
+from repro.gadgets.nonlinear import (
+    exp_gadget,
+    gelu_gadget,
+    gelu_poly_reference,
+    gelu_reference,
+    softmax_gadget,
+    softmax_reference,
+)
+from repro.r1cs import ConstraintSystem
+
+R = BN254_FR_MODULUS
+F = 12
+S = 1 << F
+
+
+class TestExpGadget:
+    @pytest.mark.parametrize("x", [-0.1, -0.5, -1.0, -2.5, -5.0, -7.9, 0.0])
+    def test_accuracy_in_range(self, x):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("x", round(x * S) % R)
+        res = exp_gadget(cs, w, F)
+        got = cs.value(res.out) / S
+        assert abs(got - math.exp(x)) < 0.02
+        assert cs.is_satisfied()
+
+    @pytest.mark.parametrize("x", [-8.5, -20.0])
+    def test_clips_below_threshold(self, x):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("x", round(x * S) % R)
+        res = exp_gadget(cs, w, F)
+        assert cs.value(res.out) == 0
+        assert cs.value(res.selector) == 0
+        assert cs.is_satisfied()
+
+    def test_positive_input_rejected(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("x", round(0.5 * S))
+        with pytest.raises(ValueError):
+            exp_gadget(cs, w, F)
+
+    def test_selector_lie_fails(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("x", round(-1.0 * S) % R)
+        res = exp_gadget(cs, w, F)
+        cs.set_value(res.selector, 0)
+        assert not cs.is_satisfied()
+
+    def test_output_lie_fails(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("x", round(-1.0 * S) % R)
+        res = exp_gadget(cs, w, F)
+        cs.set_value(res.out, cs.value(res.out) + 1)
+        assert not cs.is_satisfied()
+
+    def test_more_iters_more_accurate(self):
+        errs = []
+        for iters in (3, 6):
+            cs = ConstraintSystem()
+            w = cs.alloc_public("x", round(-1.0 * S) % R)
+            res = exp_gadget(cs, w, F, iters=iters)
+            errs.append(abs(cs.value(res.out) / S - math.exp(-1.0)))
+        assert errs[1] < errs[0]
+
+
+class TestSoftmaxGadget:
+    @given(st.lists(st.floats(-3, 3), min_size=2, max_size=6))
+    @settings(max_examples=10)
+    def test_matches_reference(self, xs):
+        cs = ConstraintSystem()
+        wires = [
+            cs.alloc_public(f"x{i}", round(v * S) % R)
+            for i, v in enumerate(xs)
+        ]
+        res = softmax_gadget(cs, wires, F)
+        got = [cs.value(w) / S for w in res.outputs]
+        ref = softmax_reference(xs)
+        assert all(abs(g - r) < 0.04 for g, r in zip(got, ref))
+        assert cs.is_satisfied()
+
+    def test_outputs_sum_near_one(self):
+        cs = ConstraintSystem()
+        xs = [0.5, 1.5, -0.5, 2.2]
+        wires = [
+            cs.alloc_public(f"x{i}", round(v * S) % R)
+            for i, v in enumerate(xs)
+        ]
+        res = softmax_gadget(cs, wires, F)
+        total = sum(cs.value(w) for w in res.outputs) / S
+        assert abs(total - 1.0) < 0.01
+
+    def test_division_cheat_fails(self):
+        cs = ConstraintSystem()
+        wires = [
+            cs.alloc_public(f"x{i}", round(v * S) % R)
+            for i, v in enumerate([1.0, 2.0, 0.5])
+        ]
+        res = softmax_gadget(cs, wires, F)
+        cs.set_value(res.outputs[0], cs.value(res.outputs[0]) + 1)
+        assert not cs.is_satisfied()
+
+    def test_max_is_member(self):
+        cs = ConstraintSystem()
+        xs = [-1.0, 0.25, -0.75]
+        wires = [
+            cs.alloc_public(f"x{i}", round(v * S) % R)
+            for i, v in enumerate(xs)
+        ]
+        res = softmax_gadget(cs, wires, F)
+        assert field_to_signed(cs.value(res.max_wire)) == round(0.25 * S)
+
+
+class TestGeluGadget:
+    @given(st.floats(-2, 2))
+    @settings(max_examples=15)
+    def test_matches_paper_polynomial(self, x):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("x", round(x * S) % R)
+        out = gelu_gadget(cs, w, F)
+        got = field_to_signed(cs.value(out)) / S
+        assert abs(got - gelu_poly_reference(x)) < 0.01
+        assert cs.is_satisfied()
+
+    def test_polynomial_is_the_trainable_substitute(self):
+        """The paper's quadratic (x^2/8 + x/4 + 1/2, the MPCFormer-style
+        "Quad") is a *trainable substitute*, not a pointwise approximation:
+        models are fine-tuned with it before proving (see
+        tests/test_zkml_pipeline.py for the accuracy-recovery check).  Here
+        we pin its algebraic properties."""
+        # Exact at the positive anchor and monotone there.
+        assert abs(gelu_poly_reference(1.0) - gelu_reference(1.0)) < 0.05
+        # Convex parabola with vertex at x = -1 (value 3/8).
+        assert gelu_poly_reference(-1.0) == pytest.approx(0.375)
+        for x in (-3.0, -0.5, 0.0, 2.0):
+            assert gelu_poly_reference(x) >= 0.375
+        # Agrees with true GELU asymptotically in trend (both increase
+        # right of the vertex).
+        assert gelu_poly_reference(2.0) > gelu_poly_reference(1.0)
+
+    def test_output_cheat_fails(self):
+        cs = ConstraintSystem()
+        w = cs.alloc_public("x", round(0.7 * S))
+        out = gelu_gadget(cs, w, F)
+        cs.set_value(out, cs.value(out) + 1)
+        assert not cs.is_satisfied()
+
+
+class TestLayerNormGadget:
+    @given(
+        st.lists(
+            st.floats(min_value=-3, max_value=3), min_size=4, max_size=8
+        )
+    )
+    @settings(max_examples=8)
+    def test_matches_reference(self, xs):
+        # Guard: degenerate all-equal vectors have ~zero variance.
+        if max(xs) - min(xs) < 0.2:
+            xs = [x + 0.3 * i for i, x in enumerate(xs)]
+        cs = ConstraintSystem()
+        wires = [
+            cs.alloc_public(f"x{i}", round(v * S) % R)
+            for i, v in enumerate(xs)
+        ]
+        res = layernorm_gadget(cs, wires, F)
+        got = [field_to_signed(cs.value(w)) / S for w in res.outputs]
+        mu = sum(xs) / len(xs)
+        var = sum((v - mu) ** 2 for v in xs) / len(xs)
+        eps_real = (S // 16) / S ** 2
+        ref = [(v - mu) / math.sqrt(var + eps_real) for v in xs]
+        assert all(abs(g - r) < 0.05 for g, r in zip(got, ref))
+        assert cs.is_satisfied()
+
+    def test_inv_std_cheat_fails(self):
+        cs = ConstraintSystem()
+        wires = [
+            cs.alloc_public(f"x{i}", round(v * S) % R)
+            for i, v in enumerate([1.0, -1.0, 0.5, -0.5])
+        ]
+        res = layernorm_gadget(cs, wires, F)
+        cs.set_value(res.inv_std_wire, cs.value(res.inv_std_wire) + 10)
+        assert not cs.is_satisfied()
+
+    def test_mean_cheat_fails(self):
+        cs = ConstraintSystem()
+        wires = [
+            cs.alloc_public(f"x{i}", round(v * S) % R)
+            for i, v in enumerate([1.0, -1.0, 0.5, -0.5])
+        ]
+        res = layernorm_gadget(cs, wires, F)
+        cs.set_value(res.mean_wire, cs.value(res.mean_wire) + 1)
+        assert not cs.is_satisfied()
+
+    def test_outputs_standardised(self):
+        cs = ConstraintSystem()
+        vals = [2.0, -1.0, 0.5, 3.0, -2.5, 1.0, 0.0, -3.0]
+        wires = [
+            cs.alloc_public(f"x{i}", round(v * S) % R)
+            for i, v in enumerate(vals)
+        ]
+        res = layernorm_gadget(cs, wires, F)
+        got = [field_to_signed(cs.value(w)) / S for w in res.outputs]
+        assert abs(sum(got)) < 0.05
+        var = sum(g * g for g in got) / len(got)
+        assert abs(var - 1.0) < 0.1

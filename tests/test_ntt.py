@@ -1,0 +1,96 @@
+"""NTT roundtrip / convolution tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.ntt import (
+    coset_shift,
+    evaluate_on_coset,
+    interpolate_from_coset,
+    intt,
+    mul_polys_ntt,
+    next_power_of_two,
+    ntt,
+)
+from repro.field.prime_field import BN254_FR_MODULUS, fr_root_of_unity
+
+R = BN254_FR_MODULUS
+elems = st.integers(min_value=0, max_value=R - 1)
+
+
+def schoolbook_mul(a, b):
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, x in enumerate(a):
+        for j, y in enumerate(b):
+            out[i + j] = (out[i + j] + x * y) % R
+    return out
+
+
+class TestNtt:
+    @given(st.lists(elems, min_size=1, max_size=64))
+    def test_roundtrip(self, values):
+        n = next_power_of_two(len(values))
+        padded = values + [0] * (n - len(values))
+        assert intt(ntt(padded)) == padded
+
+    def test_ntt_is_evaluation(self):
+        coeffs = [3, 1, 4, 1]
+        evals = ntt(coeffs)
+        w = fr_root_of_unity(4)
+        for i, e in enumerate(evals):
+            x = pow(w, i, R)
+            expected = sum(c * pow(x, k, R) for k, c in enumerate(coeffs)) % R
+            assert e == expected
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ntt([1, 2, 3])
+
+    def test_length_one(self):
+        assert ntt([5]) == [5]
+        assert intt([5]) == [5]
+
+    @given(
+        st.lists(elems, min_size=1, max_size=16),
+        st.lists(elems, min_size=1, max_size=16),
+    )
+    def test_poly_mul_matches_schoolbook(self, a, b):
+        assert mul_polys_ntt(a, b) == schoolbook_mul(a, b)
+
+    def test_poly_mul_empty(self):
+        assert mul_polys_ntt([], [1, 2]) == []
+
+
+class TestCoset:
+    @given(st.lists(elems, min_size=1, max_size=32))
+    def test_coset_roundtrip(self, coeffs):
+        size = next_power_of_two(len(coeffs))
+        evals = evaluate_on_coset(coeffs, size, 7)
+        back = interpolate_from_coset(evals, 7)
+        assert back[: len(coeffs)] == [c % R for c in coeffs]
+        assert all(c == 0 for c in back[len(coeffs):])
+
+    def test_coset_evaluation_points(self):
+        coeffs = [2, 3]  # 2 + 3X
+        size = 4
+        g = 7
+        evals = evaluate_on_coset(coeffs, size, g)
+        w = fr_root_of_unity(size)
+        for i, e in enumerate(evals):
+            x = g * pow(w, i, R) % R
+            assert e == (2 + 3 * x) % R
+
+    def test_coset_shift_identity(self):
+        assert coset_shift([1, 2, 3], 1) == [1, 2, 3]
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (1023, 1024)],
+    )
+    def test_values(self, n, expected):
+        assert next_power_of_two(n) == expected

@@ -1,0 +1,54 @@
+"""Pairing bilinearity / non-degeneracy (kept small: pairings are slow)."""
+
+import pytest
+
+from repro.curve.bn254 import g1_generator, g2_generator, multiply, neg
+from repro.curve.pairing import pairing, pairing_product_is_one
+from repro.field.extension import Fq12
+
+G1 = g1_generator()
+G2 = g2_generator()
+
+
+@pytest.fixture(scope="module")
+def e_g2_g1():
+    return pairing(G2, G1)
+
+
+class TestPairing:
+    def test_non_degenerate(self, e_g2_g1):
+        assert e_g2_g1 != Fq12.one()
+
+    def test_bilinear_left(self, e_g2_g1):
+        assert pairing(G2, multiply(G1, 5)) == e_g2_g1 ** 5
+
+    def test_bilinear_right(self, e_g2_g1):
+        assert pairing(multiply(G2, 5), G1) == e_g2_g1 ** 5
+
+    def test_identity_inputs(self):
+        assert pairing(None, G1) == Fq12.one()
+        assert pairing(G2, None) == Fq12.one()
+
+    def test_off_curve_rejected(self):
+        with pytest.raises(ValueError):
+            pairing(G2, (1, 1))
+
+    def test_product_check_accepts(self):
+        # e(-3G1, G2) * e(G1, 3G2) == 1
+        assert pairing_product_is_one(
+            [
+                (neg(multiply(G1, 3)), G2),
+                (G1, multiply(G2, 3)),
+            ]
+        )
+
+    def test_product_check_rejects(self):
+        assert not pairing_product_is_one(
+            [
+                (neg(multiply(G1, 3)), G2),
+                (G1, multiply(G2, 4)),
+            ]
+        )
+
+    def test_product_check_skips_identity_pairs(self):
+        assert pairing_product_is_one([(None, G2), (G1, None)])

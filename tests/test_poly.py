@@ -1,0 +1,135 @@
+"""Dense-polynomial algebra and Lagrange helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.prime_field import BN254_FR_MODULUS, fr_root_of_unity
+from repro.poly.dense import (
+    Poly,
+    lagrange_coeffs_at,
+    lagrange_interpolate,
+    vanishing_poly,
+)
+
+R = BN254_FR_MODULUS
+elems = st.integers(min_value=0, max_value=R - 1)
+polys = st.builds(Poly, st.lists(elems, min_size=0, max_size=10))
+
+
+class TestPolyAlgebra:
+    @given(polys, polys)
+    def test_add_commutes(self, p, q):
+        assert p + q == q + p
+
+    @given(polys, polys, polys)
+    def test_mul_distributes(self, p, q, r):
+        assert p * (q + r) == p * q + p * r
+
+    @given(polys)
+    def test_sub_self_is_zero(self, p):
+        assert (p - p).is_zero()
+
+    @given(polys, elems)
+    def test_evaluation_is_homomorphism(self, p, x):
+        q = Poly([1, 2, 3])
+        assert (p * q)(x) == p(x) * q(x) % R
+        assert (p + q)(x) == (p(x) + q(x)) % R
+
+    def test_degree_conventions(self):
+        assert Poly([]).degree == -1
+        assert Poly([5]).degree == 0
+        assert Poly([0, 0, 3]).degree == 2
+        assert Poly([1, 0, 0]).degree == 0  # trailing zeros trimmed
+
+    def test_monomial(self):
+        p = Poly.monomial(3, 7)
+        assert p.coeffs == (0, 0, 0, 7)
+
+    def test_scalar_mul(self):
+        assert Poly([1, 2]) * 3 == Poly([3, 6])
+        assert 3 * Poly([1, 2]) == Poly([3, 6])
+
+    @given(polys, polys)
+    def test_divmod_reconstructs(self, p, d):
+        if d.is_zero():
+            with pytest.raises(ZeroDivisionError):
+                p.divmod(d)
+            return
+        q, r = p.divmod(d)
+        assert q * d + r == p
+        assert r.degree < d.degree or r.is_zero()
+
+    def test_floordiv_mod_operators(self):
+        p = Poly([2, 0, 1])  # X^2 + 2
+        d = Poly([1, 1])  # X + 1
+        assert (p // d) * d + (p % d) == p
+
+    def test_large_mul_uses_ntt_consistently(self):
+        a = Poly(list(range(1, 40)))
+        b = Poly(list(range(2, 45)))
+        small = Poly(list(range(1, 10)))
+        # Cross-check NTT path vs schoolbook path on overlapping sizes.
+        assert (a * b)(12345) == a(12345) * b(12345) % R
+        assert (a * small)(99) == a(99) * small(99) % R
+
+
+class TestLagrange:
+    @given(st.lists(elems, min_size=1, max_size=6, unique=True))
+    def test_interpolation_hits_points(self, xs):
+        ys = [(3 * x + 1) % R for x in xs]
+        p = lagrange_interpolate(xs, ys)
+        for x, y in zip(xs, ys):
+            assert p(x) == y
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_interpolate([1, 1], [2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_interpolate([1], [2, 3])
+
+    def test_degree_bound(self):
+        xs, ys = [1, 2, 3], [7, 7, 7]
+        p = lagrange_interpolate(xs, ys)
+        assert p == Poly([7])
+
+
+class TestVanishing:
+    @pytest.mark.parametrize("size", [2, 4, 8])
+    def test_vanishes_on_domain(self, size):
+        t = vanishing_poly(size)
+        w = fr_root_of_unity(size)
+        for q in range(size):
+            assert t(pow(w, q, R)) == 0
+
+    def test_nonzero_off_domain(self):
+        t = vanishing_poly(4)
+        assert t(7) == (pow(7, 4, R) - 1) % R
+
+
+class TestLagrangeCoeffsAt:
+    @pytest.mark.parametrize("size", [2, 4, 16])
+    def test_matches_direct_interpolation(self, size):
+        w = fr_root_of_unity(size)
+        point = 987654321
+        coeffs = lagrange_coeffs_at(size, w, point)
+        domain = [pow(w, q, R) for q in range(size)]
+        for q in range(size):
+            ys = [1 if i == q else 0 for i in range(size)]
+            expected = lagrange_interpolate(domain, ys)(point)
+            assert coeffs[q] == expected
+
+    def test_point_on_domain_gives_indicator(self):
+        size = 8
+        w = fr_root_of_unity(size)
+        coeffs = lagrange_coeffs_at(size, w, pow(w, 3, R))
+        assert coeffs[3] == 1
+        assert all(c == 0 for i, c in enumerate(coeffs) if i != 3)
+
+    def test_partition_of_unity(self):
+        size = 8
+        w = fr_root_of_unity(size)
+        coeffs = lagrange_coeffs_at(size, w, 424242)
+        assert sum(coeffs) % R == 1

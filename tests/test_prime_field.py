@@ -1,0 +1,149 @@
+"""Unit + property tests for prime-field arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.prime_field import (
+    BN254_FQ_MODULUS,
+    BN254_FR_MODULUS,
+    Fq,
+    Fr,
+    PrimeField,
+    batch_inv_mod,
+    dot_mod,
+    fr_root_of_unity,
+    inv_mod,
+    sqrt_mod,
+)
+
+R = BN254_FR_MODULUS
+elems = st.integers(min_value=0, max_value=R - 1)
+nonzero = st.integers(min_value=1, max_value=R - 1)
+
+
+class TestModuli:
+    def test_fr_is_prime_ish(self):
+        # Fermat witness checks (full primality is overkill here).
+        for a in (2, 3, 5, 7):
+            assert pow(a, R - 1, R) == 1
+
+    def test_fq_is_prime_ish(self):
+        q = BN254_FQ_MODULUS
+        for a in (2, 3, 5, 7):
+            assert pow(a, q - 1, q) == 1
+
+    def test_fr_two_adicity(self):
+        assert (R - 1) % (1 << 28) == 0
+        assert (R - 1) % (1 << 29) != 0
+
+
+class TestInv:
+    @given(nonzero)
+    def test_inverse_roundtrip(self, a):
+        assert a * inv_mod(a, R) % R == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            inv_mod(0, R)
+
+    @given(st.lists(nonzero, min_size=1, max_size=20))
+    def test_batch_inverse_matches_single(self, values):
+        batch = batch_inv_mod(values, R)
+        assert batch == [inv_mod(v, R) for v in values]
+
+    def test_batch_inverse_empty(self):
+        assert batch_inv_mod([], R) == []
+
+    def test_batch_inverse_rejects_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            batch_inv_mod([3, 0, 5], R)
+
+
+class TestSqrt:
+    @given(nonzero)
+    def test_sqrt_of_square(self, a):
+        root = sqrt_mod(a * a % R, R)
+        assert root in (a, R - a)
+
+    def test_sqrt_of_zero(self):
+        assert sqrt_mod(0, R) == 0
+
+    def test_non_residue_raises(self):
+        # Find a non-residue quickly via Euler's criterion.
+        for candidate in range(2, 50):
+            if pow(candidate, (R - 1) // 2, R) == R - 1:
+                with pytest.raises(ValueError):
+                    sqrt_mod(candidate, R)
+                return
+        pytest.fail("no non-residue found in range")
+
+
+class TestRootsOfUnity:
+    @pytest.mark.parametrize("log", [0, 1, 2, 5, 10])
+    def test_exact_order(self, log):
+        order = 1 << log
+        w = fr_root_of_unity(order)
+        assert pow(w, order, R) == 1
+        if order > 1:
+            assert pow(w, order // 2, R) != 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fr_root_of_unity(3)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            fr_root_of_unity(1 << 29)
+
+
+class TestFieldElementWrapper:
+    def test_basic_algebra(self):
+        a, b = Fr(7), Fr(5)
+        assert a + b == Fr(12)
+        assert a - b == Fr(2)
+        assert a * b == Fr(35)
+        assert (a / b) * b == a
+        assert -a == Fr(R - 7)
+        assert a ** 3 == Fr(343)
+
+    def test_int_interop(self):
+        assert Fr(7) + 5 == 12
+        assert 5 + Fr(7) == Fr(12)
+        assert 2 * Fr(3) == Fr(6)
+        assert (1 / Fr(4)) * 4 == Fr(1)
+
+    def test_mixing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Fr(1) + Fq(1)
+
+    @given(elems, elems)
+    def test_sub_is_add_neg(self, a, b):
+        assert Fr(a) - Fr(b) == Fr(a) + (-Fr(b))
+
+    def test_signed_mapping(self):
+        assert Fr.to_signed(Fr.from_signed(-5)) == -5
+        assert Fr.to_signed(Fr(3)) == 3
+
+    def test_repr_and_bool(self):
+        assert "7" in repr(Fr(7))
+        assert not Fr(0)
+        assert Fr(1)
+
+    def test_hash_consistency(self):
+        assert hash(Fr(5)) == hash(Fr(5 + R))
+
+    def test_field_equality(self):
+        assert PrimeField(R) == Fr
+        assert PrimeField(R) != Fq
+
+
+class TestDot:
+    @given(
+        st.lists(elems, min_size=0, max_size=8),
+        st.lists(elems, min_size=0, max_size=8),
+    )
+    def test_dot_matches_reference(self, a, b):
+        n = min(len(a), len(b))
+        expected = sum(x * y for x, y in zip(a[:n], b[:n])) % R
+        assert dot_mod(a[:n], b[:n], R) == expected

@@ -1,0 +1,96 @@
+"""QAP lowering: the divisibility identity behind Groth16."""
+
+import random
+
+from repro.field.prime_field import BN254_FR_MODULUS, fr_root_of_unity
+from repro.poly.dense import lagrange_interpolate, vanishing_poly
+from repro.qap.qap import domain_size_for, evaluate_qap_at
+from repro.r1cs import LC, ConstraintSystem
+
+R = BN254_FR_MODULUS
+
+
+def build_square_chain(depth: int, x_val: int) -> ConstraintSystem:
+    """x, x^2, x^4, ... chained squarings."""
+    cs = ConstraintSystem()
+    x = cs.alloc_public("x", x_val)
+    cur = x
+    for i in range(depth):
+        cur = cs.mul(LC.from_wire(cur), LC.from_wire(cur), f"sq{i}")
+    return cs
+
+
+class TestQapEvaluation:
+    def test_domain_size(self):
+        cs = build_square_chain(3, 3)
+        inst = cs.specialize(1)
+        assert domain_size_for(inst) == 4
+        cs5 = build_square_chain(5, 3)
+        assert domain_size_for(cs5.specialize(1)) == 8
+
+    def test_minimum_domain(self):
+        cs = build_square_chain(1, 2)
+        assert domain_size_for(cs.specialize(1)) == 2
+
+    def test_qap_identity_at_random_tau(self):
+        """(sum c_i u_i)(sum c_i v_i) - sum c_i w_i must vanish on the
+        domain, i.e. be divisible by t — checked via explicit interpolation."""
+        cs = build_square_chain(3, 5)
+        inst = cs.specialize(1)
+        assignment = cs.assignment()
+        n = domain_size_for(inst)
+        omega = fr_root_of_unity(n)
+        domain = [pow(omega, q, R) for q in range(n)]
+
+        az = inst.matvec("A", assignment) + [0] * (n - inst.num_constraints)
+        bz = inst.matvec("B", assignment) + [0] * (n - inst.num_constraints)
+        cz = inst.matvec("C", assignment) + [0] * (n - inst.num_constraints)
+        a_poly = lagrange_interpolate(domain, az)
+        b_poly = lagrange_interpolate(domain, bz)
+        c_poly = lagrange_interpolate(domain, cz)
+        prod = a_poly * b_poly - c_poly
+        _, rem = prod.divmod(vanishing_poly(n))
+        assert rem.is_zero()
+
+    def test_qap_evaluations_match_interpolation(self):
+        cs = build_square_chain(2, 7)
+        inst = cs.specialize(1)
+        tau = random.Random(1).randrange(R)
+        qap = evaluate_qap_at(inst, tau)
+        assignment = cs.assignment()
+
+        n = qap.domain_size
+        omega = fr_root_of_unity(n)
+        domain = [pow(omega, q, R) for q in range(n)]
+        az = inst.matvec("A", assignment) + [0] * (n - inst.num_constraints)
+        a_poly = lagrange_interpolate(domain, az)
+        a_at_tau = sum(
+            c * u for c, u in zip(assignment, qap.u)
+        ) % R
+        assert a_at_tau == a_poly(tau)
+
+    def test_t_at_tau(self):
+        cs = build_square_chain(2, 2)
+        inst = cs.specialize(1)
+        tau = 12345
+        qap = evaluate_qap_at(inst, tau)
+        assert qap.t_at_tau == (pow(tau, qap.domain_size, R) - 1) % R
+
+    def test_unsatisfied_assignment_breaks_divisibility(self):
+        cs = build_square_chain(2, 3)
+        inst = cs.specialize(1)
+        assignment = cs.assignment()
+        assignment[-1] = (assignment[-1] + 1) % R
+        n = domain_size_for(inst)
+        omega = fr_root_of_unity(n)
+        domain = [pow(omega, q, R) for q in range(n)]
+        az = inst.matvec("A", assignment) + [0] * (n - inst.num_constraints)
+        bz = inst.matvec("B", assignment) + [0] * (n - inst.num_constraints)
+        cz = inst.matvec("C", assignment) + [0] * (n - inst.num_constraints)
+        prod = (
+            lagrange_interpolate(domain, az)
+            * lagrange_interpolate(domain, bz)
+            - lagrange_interpolate(domain, cz)
+        )
+        _, rem = prod.divmod(vanishing_poly(n))
+        assert not rem.is_zero()

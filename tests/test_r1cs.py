@@ -1,0 +1,201 @@
+"""Constraint-system builder, linear combinations, and specialisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.prime_field import BN254_FR_MODULUS
+from repro.r1cs import LC, ConstraintSystem, derive_z
+
+R = BN254_FR_MODULUS
+elems = st.integers(min_value=0, max_value=R - 1)
+
+
+class TestLinearCombination:
+    def test_merges_duplicate_terms(self):
+        lc = LC([(1, 2, 0), (1, 3, 0)])
+        assert len(lc) == 1
+        assert lc.terms[0].coeff == 5
+
+    def test_cancellation_removes_term(self):
+        lc = LC([(1, 2, 0), (1, R - 2, 0)])
+        assert len(lc) == 0
+        assert not lc
+
+    def test_distinct_z_degrees_kept(self):
+        lc = LC([(1, 2, 0), (1, 2, 1)])
+        assert len(lc) == 2
+        assert lc.max_z_degree == 1
+
+    @given(elems, elems, elems)
+    def test_evaluate(self, a, b, z):
+        lc = LC([(1, a, 0), (2, b, 2)])
+        assignment = [1, 5, 7]
+        expected = (a * 5 + b * pow(z, 2, R) * 7) % R
+        assert lc.evaluate(assignment, z) == expected
+
+    def test_add_sub_scale(self):
+        x = LC.from_wire(1)
+        y = LC.from_wire(2)
+        combo = (x + y).scale(3) - x
+        assignment = [1, 10, 20]
+        assert combo.evaluate(assignment) == (3 * 30 - 10) % R
+
+    def test_shift_z(self):
+        lc = LC([(1, 1, 0)]).shift_z(3)
+        assert lc.terms[0].z_deg == 3
+
+    def test_specialize_merges_wires(self):
+        lc = LC([(1, 1, 0), (1, 1, 1)])
+        z = 10
+        spec = lc.specialize(z)
+        assert spec == [(1, 11)]
+
+    def test_constant(self):
+        lc = LC.constant(42)
+        assert lc.evaluate([1]) == 42
+
+    def test_wires_listing(self):
+        lc = LC([(3, 1, 0), (1, 1, 0), (3, 1, 2)])
+        assert lc.wires() == [1, 3]
+
+    def test_repr_truncates(self):
+        lc = LC([(i, 1, 0) for i in range(10)])
+        assert "..." in repr(lc)
+
+
+class TestConstraintSystem:
+    def test_simple_satisfaction(self):
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x", 3)
+        y = cs.alloc("y", 9)
+        cs.enforce(LC.from_wire(x), LC.from_wire(x), LC.from_wire(y))
+        assert cs.is_satisfied()
+        cs.set_value(y, 10)
+        assert not cs.is_satisfied()
+
+    def test_public_after_witness_rejected(self):
+        cs = ConstraintSystem()
+        cs.alloc("w", 1)
+        with pytest.raises(ValueError):
+            cs.alloc_public("x", 1)
+
+    def test_unset_wire_raises(self):
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x")
+        cs.enforce(LC.from_wire(x), LC.constant(1), LC.from_wire(x))
+        with pytest.raises(ValueError):
+            cs.is_satisfied()
+
+    def test_mul_helper(self):
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x", 4)
+        p = cs.mul(LC.from_wire(x), LC.from_wire(x), "x2")
+        assert cs.value(p) == 16
+        assert cs.is_satisfied()
+
+    def test_enforce_equal(self):
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x", 5)
+        y = cs.alloc("y", 5)
+        cs.enforce_equal(LC.from_wire(x), LC.from_wire(y))
+        assert cs.is_satisfied()
+        cs.set_value(y, 6)
+        assert not cs.is_satisfied()
+        assert cs.first_unsatisfied() is not None
+
+    def test_packed_satisfaction_needs_consistent_z(self):
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x", 2)
+        y = cs.alloc("y")
+        # x * (z*x) == y  ->  y must be z * 4
+        z = 1000
+        cs.set_value(y, z * 4)
+        cs.enforce(
+            LC.from_wire(x), LC.from_wire(x, z_deg=1), LC.from_wire(y)
+        )
+        assert cs.is_packed
+        assert cs.is_satisfied(z)
+        assert not cs.is_satisfied(z + 1)
+
+    def test_stats(self):
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x", 2)
+        y = cs.alloc("y", 4)
+        cs.enforce(
+            LC.from_wire(x) + LC.from_wire(y),
+            LC.from_wire(x),
+            LC.from_wire(y, z_deg=2),
+        )
+        st_ = cs.stats()
+        assert st_.num_constraints == 1
+        assert st_.num_wires == 3
+        assert st_.num_public == 2
+        assert st_.a_terms == 2
+        assert st_.b_terms == 1
+        assert st_.c_terms == 1
+        assert st_.a_wires == 2
+        assert st_.max_z_degree == 2
+
+    def test_public_inputs_slice(self):
+        cs = ConstraintSystem()
+        cs.alloc_public("a", 10)
+        cs.alloc_public("b", 20)
+        cs.alloc("w", 30)
+        assert cs.public_inputs() == [10, 20]
+        assert cs.assignment() == [1, 10, 20, 30]
+
+    def test_specialize_concrete_instance(self):
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x", 3)
+        y = cs.alloc("y")
+        z = 100
+        cs.set_value(y, 3 * pow(z, 2, R) * 3 % R)
+        cs.enforce(
+            LC.from_wire(x, z_deg=2),
+            LC.from_wire(x),
+            LC.from_wire(y),
+        )
+        inst = cs.specialize(z)
+        assert inst.num_constraints == 1
+        assert inst.is_satisfied(cs.assignment())
+        bad = cs.assignment()
+        bad[y] = 1
+        assert not inst.is_satisfied(bad)
+
+    def test_instance_counts(self):
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x", 2)
+        w = cs.alloc("w", 4)
+        cs.enforce(LC.from_wire(x), LC.from_wire(x), LC.from_wire(w))
+        inst = cs.specialize(1)
+        assert inst.num_public == 2
+        assert inst.num_witness == 1
+        assert inst.nonzeros() == 3
+        assert inst.matvec("A", [1, 2, 4]) == [2]
+
+    def test_instance_entry_iteration(self):
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x", 2)
+        cs.enforce(LC.from_wire(x), LC.constant(1), LC.from_wire(x))
+        inst = cs.specialize(1)
+        assert list(inst.entries("A")) == [(0, 1, 1)]
+        assert list(inst.entries("B")) == [(0, 0, 1)]
+
+    def test_assignment_length_checked(self):
+        cs = ConstraintSystem()
+        cs.alloc_public("x", 1)
+        inst = cs.specialize(1)
+        with pytest.raises(ValueError):
+            inst.is_satisfied([1])
+
+
+class TestDeriveZ:
+    def test_deterministic(self):
+        assert derive_z(b"abc") == derive_z(b"abc")
+
+    def test_seed_sensitivity(self):
+        assert derive_z(b"abc") != derive_z(b"abd")
+
+    def test_in_field(self):
+        assert 0 <= derive_z(b"anything") < R

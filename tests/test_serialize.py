@@ -1,0 +1,132 @@
+"""Serialisation round-trips and malformed-input rejection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serialize as ser
+from repro.curve.bn254 import g1_generator, g2_generator, multiply
+from repro.field.prime_field import BN254_FR_MODULUS
+from repro.r1cs import LC, ConstraintSystem
+from repro.spartan import Transcript
+from repro.spartan import prove as spartan_prove
+from repro.spartan import verify as spartan_verify
+
+R = BN254_FR_MODULUS
+G1, G2 = g1_generator(), g2_generator()
+scalars = st.integers(min_value=0, max_value=R - 1)
+
+
+class TestScalars:
+    @given(scalars)
+    def test_roundtrip(self, v):
+        assert ser.scalar_from_bytes(ser.scalar_to_bytes(v)) == v
+
+    def test_bad_length(self):
+        with pytest.raises(ser.SerializationError):
+            ser.scalar_from_bytes(b"\x01" * 31)
+
+    def test_unreduced_rejected(self):
+        with pytest.raises(ser.SerializationError):
+            ser.scalar_from_bytes((R + 1).to_bytes(32, "big"))
+
+
+class TestG1:
+    @given(st.integers(1, 10 ** 6))
+    @settings(max_examples=10)
+    def test_roundtrip(self, k):
+        p = multiply(G1, k)
+        assert ser.g1_from_bytes(ser.g1_to_bytes(p)) == p
+
+    def test_infinity(self):
+        assert ser.g1_from_bytes(ser.g1_to_bytes(None)) is None
+
+    def test_off_curve_rejected(self):
+        bad = (1).to_bytes(32, "big") + (1).to_bytes(32, "big")
+        with pytest.raises(ser.SerializationError):
+            ser.g1_from_bytes(bad)
+
+    def test_unreduced_rejected(self):
+        from repro.field.prime_field import BN254_FQ_MODULUS
+
+        bad = BN254_FQ_MODULUS.to_bytes(32, "big") + (2).to_bytes(32, "big")
+        with pytest.raises(ser.SerializationError):
+            ser.g1_from_bytes(bad)
+
+
+class TestG2:
+    @given(st.integers(1, 1000))
+    @settings(max_examples=5)
+    def test_roundtrip(self, k):
+        p = multiply(G2, k)
+        assert ser.g2_from_bytes(ser.g2_to_bytes(p)) == p
+
+    def test_infinity(self):
+        assert ser.g2_from_bytes(ser.g2_to_bytes(None)) is None
+
+    def test_off_twist_rejected(self):
+        bad = b"\x00" * 31 + b"\x01" + b"\x00" * 96
+        with pytest.raises(ser.SerializationError):
+            ser.g2_from_bytes(bad)
+
+
+def _spartan_setup():
+    cs = ConstraintSystem()
+    x = cs.alloc_public("x", 3)
+    y = cs.alloc_public("y", 9)
+    w = cs.alloc("w", 3)
+    cs.enforce(LC.from_wire(x), LC.from_wire(w), LC.from_wire(y))
+    cs.mul(LC.from_wire(w), LC.from_wire(w), "w2")
+    inst = cs.specialize(1)
+    proof = spartan_prove(inst, cs.assignment(), Transcript(b"ser"))
+    return cs, inst, proof
+
+
+class TestProofSerialisation:
+    def test_groth16_roundtrip(self):
+        import repro.groth16 as g16
+
+        rng = random.Random(3)
+        cs = ConstraintSystem()
+        x = cs.alloc_public("x", 4)
+        y = cs.alloc_public("y", 16)
+        cs.enforce(LC.from_wire(x), LC.from_wire(x), LC.from_wire(y))
+        inst = cs.specialize(1)
+        kp = g16.setup(inst, rng=lambda: rng.getrandbits(256))
+        proof = g16.prove(kp.pk, inst, cs.assignment())
+        blob = ser.groth16_proof_to_bytes(proof)
+        assert len(blob) == 256
+        back = ser.groth16_proof_from_bytes(blob)
+        assert g16.verify(kp.vk, cs.public_inputs(), back)
+
+    def test_groth16_bad_length(self):
+        with pytest.raises(ser.SerializationError):
+            ser.groth16_proof_from_bytes(b"\x00" * 100)
+
+    def test_spartan_roundtrip(self):
+        cs, inst, proof = _spartan_setup()
+        blob = ser.spartan_proof_to_bytes(proof)
+        back = ser.spartan_proof_from_bytes(blob)
+        assert spartan_verify(
+            inst, cs.public_inputs(), back, Transcript(b"ser")
+        )
+
+    def test_spartan_truncated_rejected(self):
+        _, _, proof = _spartan_setup()
+        blob = ser.spartan_proof_to_bytes(proof)
+        with pytest.raises(ser.SerializationError):
+            ser.spartan_proof_from_bytes(blob[:-5])
+
+    def test_spartan_trailing_rejected(self):
+        _, _, proof = _spartan_setup()
+        blob = ser.spartan_proof_to_bytes(proof)
+        with pytest.raises(ser.SerializationError):
+            ser.spartan_proof_from_bytes(blob + b"\x00")
+
+    def test_spartan_size_matches_reported(self):
+        _, _, proof = _spartan_setup()
+        blob = ser.spartan_proof_to_bytes(proof)
+        # Wire format adds only small framing over the reported proof size.
+        assert abs(len(blob) - proof.size_bytes()) < 200

@@ -1,0 +1,99 @@
+"""The zk-ML codesign pipeline (Table I's last column): train with exact
+GELU, fine-tune with the paper's polynomial, quantise — accuracy must
+survive every step, and the mixer accuracy ordering of Tables III/IV must
+emerge on the synthetic stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    VisionTransformer,
+    make_nlp_task,
+    make_vision_dataset,
+    train_model,
+    uniform_plan,
+)
+from repro.nn.train import evaluate
+from repro.nn.transformer import TextTransformer
+from repro.zkml import QuantizedTransformer
+
+
+def finetune_poly_gelu(model, data, epochs=3, lr=0.01):
+    for blk in model.encoder.blocks:
+        blk.mlp.poly_gelu = True
+    return train_model(model, data, epochs=epochs, lr=lr, seed=2)
+
+
+@pytest.fixture(scope="module")
+def vision_data():
+    return make_vision_dataset("cifar10", 600, seed=3)
+
+
+def train_mixer(mixer, data, layers=2, dim=48, epochs=10):
+    model = VisionTransformer(
+        16, 4, dim=dim, heads=4, num_classes=8,
+        mixer_plan=uniform_plan(mixer, layers),
+        rng=np.random.default_rng(0),
+    )
+    train_model(model, data, epochs=epochs, lr=0.08, seed=1)
+    return model
+
+
+class TestCodesignPipeline:
+    def test_poly_finetune_recovers_accuracy(self, vision_data):
+        model = train_mixer("softmax", vision_data)
+        base = evaluate(model, vision_data.test_x, vision_data.test_y)
+        finetune_poly_gelu(model, vision_data)
+        tuned = evaluate(model, vision_data.test_x, vision_data.test_y)
+        q = QuantizedTransformer(model)
+        q_acc = q.accuracy(vision_data.test_x, vision_data.test_y)
+        assert base > 0.6, "base training failed to learn"
+        assert tuned >= base - 0.05
+        assert q_acc >= tuned - 0.05
+
+    def test_mixer_accuracy_ordering(self, vision_data):
+        """Table III's shape: softmax > scaling > pooling."""
+        accs = {}
+        for mixer in ("softmax", "scaling", "pooling"):
+            model = train_mixer(mixer, vision_data)
+            accs[mixer] = evaluate(
+                model, vision_data.test_x, vision_data.test_y
+            )
+        assert accs["softmax"] > accs["scaling"] > accs["pooling"]
+
+    def test_hybrid_between_extremes(self, vision_data):
+        """zkVC's hybrid plan should land between all-softmax and
+        all-pooling in accuracy."""
+        hybrid = VisionTransformer(
+            16, 4, dim=48, heads=4, num_classes=8,
+            mixer_plan=["pooling", "softmax"],
+            rng=np.random.default_rng(0),
+        )
+        train_model(hybrid, vision_data, epochs=10, lr=0.08, seed=1)
+        h_acc = evaluate(hybrid, vision_data.test_x, vision_data.test_y)
+        pool = train_mixer("pooling", vision_data)
+        p_acc = evaluate(pool, vision_data.test_x, vision_data.test_y)
+        assert h_acc > p_acc
+
+
+class TestNlpOrdering:
+    def test_sst2_learnable_by_both_mixers(self):
+        """Both mixer families must learn the SST-2 stand-in well.
+
+        Note (recorded in EXPERIMENTS.md): on these token-level synthetic
+        tasks static linear mixing is competitive — the paper's GLUE
+        advantage of SoftMax attention does not fully transfer to the
+        stand-ins; the vision tasks (Table III tests above) carry the
+        mixer-ordering reproduction.
+        """
+        data, classes = make_nlp_task("sst2", 700, seq_len=12, seed=4)
+        accs = {}
+        for mixer in ("softmax", "linear"):
+            model = TextTransformer(
+                24, 12, 32, 4, classes,
+                uniform_plan(mixer, 2), np.random.default_rng(0),
+            )
+            train_model(model, data, epochs=8, lr=0.08, seed=1)
+            accs[mixer] = evaluate(model, data.test_x, data.test_y)
+        assert accs["softmax"] > 0.9
+        assert accs["linear"] > 0.9
