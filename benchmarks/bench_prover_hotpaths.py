@@ -1,0 +1,207 @@
+"""Prover hot-path microbenchmarks -> BENCH_prover.json.
+
+Times the three dominant prover kernels on this machine:
+
+* **MSM** over G1 for sizes 2^8..2^14 — the new batch-affine Pippenger and
+  a warm fixed-base table, plus (at small sizes) the pre-PR-style Jacobian
+  Pippenger for reference;
+* **sumcheck** proving for table sizes 2^10..2^16 — the specialized
+  ``prod2`` kernel and the naive reference prover;
+* **Hyrax commit** at 2^10 / 2^12 — the batched fixed-base path versus
+  per-row generic MSMs.
+
+Every entry records ops/sec (points/sec for MSM, table-elements/sec for
+sumcheck, vector-elements/sec for commits), so future PRs have a perf
+trajectory to regress against: run
+
+    PYTHONPATH=src python benchmarks/bench_prover_hotpaths.py
+
+then `python benchmarks/check_regression.py` to compare against the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.curve.bn254 import CURVE_ORDER, g1_generator, multiply  # noqa: E402
+from repro.curve.fixed_base import FixedBaseMSM  # noqa: E402
+from repro.curve.msm import _msm_jacobian, msm  # noqa: E402
+from repro.field.prime_field import BN254_FR_MODULUS  # noqa: E402
+from repro.spartan.commitment import HyraxProver, generator_fixed_base  # noqa: E402
+from repro.spartan.sumcheck import (  # noqa: E402
+    sumcheck_prove,
+    sumcheck_prove_reference,
+)
+from repro.spartan.transcript import Transcript  # noqa: E402
+
+R = BN254_FR_MODULUS
+
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_prover.json")
+
+MSM_SIZES = [1 << k for k in range(8, 15)]       # 2^8 .. 2^14
+SUMCHECK_SIZES = [1 << k for k in range(10, 17)]  # 2^10 .. 2^16
+HYRAX_SIZES = [1 << 10, 1 << 12]
+# Above this size the pre-PR-style Jacobian reference gets too slow to time
+# on every run; the fast paths still cover the full range.
+NAIVE_MSM_LIMIT = 1 << 12
+NAIVE_HYRAX_LIMIT = 1 << 12
+
+
+def _timed(fn: Callable[[], object], min_repeats: int = 1) -> float:
+    best = float("inf")
+    for _ in range(min_repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _rand_points(n: int, rng: random.Random) -> List[object]:
+    # A small pool of distinct points cycled to length n keeps setup cheap;
+    # bucket behaviour only depends on the scalars, which stay random.
+    g = g1_generator()
+    pool = [multiply(g, rng.randrange(1, CURVE_ORDER)) for _ in range(64)]
+    return [pool[i % len(pool)] for i in range(n)]
+
+
+def bench_msm(sizes=MSM_SIZES, repeats: int = 1) -> Dict[str, Dict[str, float]]:
+    rng = random.Random(0xBEEF)
+    out: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        pts = _rand_points(n, rng)
+        scs = [rng.randrange(CURVE_ORDER) for _ in range(n)]
+        entry: Dict[str, float] = {}
+        entry["fast_ops_per_sec"] = n / _timed(lambda: msm(pts, scs), repeats)
+        fb = FixedBaseMSM(pts)
+        entry["fixed_base_ops_per_sec"] = n / _timed(
+            lambda: fb.msm(scs), repeats
+        )
+        if n <= NAIVE_MSM_LIMIT:
+            entry["naive_ops_per_sec"] = n / _timed(
+                lambda: _msm_jacobian(pts, scs), repeats
+            )
+        out[str(n)] = entry
+    return out
+
+
+def bench_sumcheck(
+    sizes=SUMCHECK_SIZES, repeats: int = 1
+) -> Dict[str, Dict[str, float]]:
+    rng = random.Random(0xFEED)
+    combine = lambda v: v[0] * v[1] % R  # noqa: E731
+    out: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        a = [rng.randrange(R) for _ in range(n)]
+        b = [rng.randrange(R) for _ in range(n)]
+        claim = sum(x * y for x, y in zip(a, b)) % R
+        entry: Dict[str, float] = {}
+        entry["fast_ops_per_sec"] = n / _timed(
+            lambda: sumcheck_prove(
+                [list(a), list(b)], combine, 2, claim, Transcript(), b"b",
+                kernel="prod2",
+            ),
+            repeats,
+        )
+        entry["naive_ops_per_sec"] = n / _timed(
+            lambda: sumcheck_prove_reference(
+                [list(a), list(b)], combine, 2, claim, Transcript(), b"b"
+            ),
+            repeats,
+        )
+        out[str(n)] = entry
+    return out
+
+
+def _naive_hyrax_commit(prover: HyraxProver) -> None:
+    """The pre-PR commit path: one Jacobian Pippenger MSM per row plus a
+    double-and-add scalar mult for the blinder."""
+    from repro.curve.bn254 import add
+    from repro.spartan.commitment import blinder_generator, pedersen_generators
+
+    gens = pedersen_generators(len(prover.rows[0]))
+    for row, blind in zip(prover.rows, prover.blinders):
+        acc = _msm_jacobian(list(gens[: len(row)]), list(row))
+        if blind:
+            acc = add(acc, multiply(blinder_generator(), blind))
+
+
+def bench_hyrax(
+    sizes=HYRAX_SIZES, repeats: int = 1
+) -> Dict[str, Dict[str, float]]:
+    rng = random.Random(0xC0FFEE)
+    out: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        num_vars = n.bit_length() - 1
+        vec = [rng.randrange(R) for _ in range(n)]
+        prover = HyraxProver(vec, num_vars, rng=lambda: rng.randrange(R))
+        generator_fixed_base(1 << prover.col_vars)  # warm the shared tables
+        entry: Dict[str, float] = {}
+        entry["fast_ops_per_sec"] = n / _timed(lambda: prover.commit(), repeats)
+        if n <= NAIVE_HYRAX_LIMIT:
+            entry["naive_ops_per_sec"] = n / _timed(
+                lambda: _naive_hyrax_commit(prover), repeats
+            )
+        out[str(n)] = entry
+    return out
+
+
+def run_benchmarks(repeats: int = 1, quick: bool = False) -> Dict[str, object]:
+    msm_sizes = MSM_SIZES[:4] if quick else MSM_SIZES
+    sc_sizes = SUMCHECK_SIZES[:4] if quick else SUMCHECK_SIZES
+    hyrax_sizes = HYRAX_SIZES[:1] if quick else HYRAX_SIZES
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "quick": quick,
+        },
+        "msm": bench_msm(msm_sizes, repeats),
+        "sumcheck": bench_sumcheck(sc_sizes, repeats),
+        "hyrax_commit": bench_hyrax(hyrax_sizes, repeats),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    ap.add_argument("--repeats", type=int, default=1)
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="small sizes only (for CI / regression checks)",
+    )
+    args = ap.parse_args(argv)
+    results = run_benchmarks(repeats=args.repeats, quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for section in ("msm", "sumcheck", "hyrax_commit"):
+        print(f"[{section}]")
+        for size, entry in sorted(
+            results[section].items(), key=lambda kv: int(kv[0])
+        ):
+            parts = [f"{k}={v:,.0f}" for k, v in sorted(entry.items())]
+            speed = ""
+            if "naive_ops_per_sec" in entry:
+                speed = (
+                    f"  ({entry['fast_ops_per_sec'] / entry['naive_ops_per_sec']:.2f}x"
+                    " vs naive)"
+                )
+            print(f"  n={size:>6}: {' '.join(parts)}{speed}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

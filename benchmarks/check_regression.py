@@ -1,0 +1,127 @@
+"""Perf regression gate for the prover hot paths.
+
+Runs a fresh (quick) pass of ``bench_prover_hotpaths`` and compares every
+overlapping metric against the committed ``BENCH_prover.json`` baseline.
+Exits nonzero if any fast-path metric regressed by more than the threshold
+(default 25%), so it can run right after tier-1 tests:
+
+    PYTHONPATH=src python -m pytest -x -q
+    python benchmarks/check_regression.py
+
+Environment:
+    BENCH_BASELINE     override the baseline path
+    BENCH_THRESHOLD    override the allowed fractional regression (0.25)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from bench_prover_hotpaths import DEFAULT_OUT, run_benchmarks  # noqa: E402
+
+# Only the fast paths gate: reference/naive numbers are informational.
+_GATED_METRICS = ("fast_ops_per_sec", "fixed_base_ops_per_sec")
+
+
+def _paired_metrics(baseline: dict, fresh: dict):
+    for section in ("msm", "sumcheck", "hyrax_commit"):
+        base_sec = baseline.get(section, {})
+        fresh_sec = fresh.get(section, {})
+        for size, fresh_entry in fresh_sec.items():
+            base_entry = base_sec.get(size, {})
+            for metric in _GATED_METRICS:
+                if metric not in base_entry or metric not in fresh_entry:
+                    continue
+                old = base_entry[metric]
+                if old <= 0:
+                    continue
+                yield section, size, metric, old, fresh_entry[metric]
+
+
+def machine_factor(baseline: dict, fresh: dict) -> float:
+    """Median new/old ratio across all gated metrics.
+
+    The committed baseline was measured on one machine; a uniformly slower
+    (or faster) machine shifts *every* metric by roughly the same factor.
+    Normalising by the median makes the gate machine-independent while a
+    regression confined to one kernel still sticks out against it.  (The
+    cost: a code change that slows every kernel by the same factor is
+    indistinguishable from slower hardware — re-baseline to catch those.)
+    """
+    ratios = sorted(new / old for _, _, _, old, new in _paired_metrics(baseline, fresh))
+    if not ratios:
+        return 1.0
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[mid]
+    return (ratios[mid - 1] + ratios[mid]) / 2
+
+
+def compare(baseline: dict, fresh: dict, threshold: float, factor: float = 1.0):
+    """Yield (section, size, metric, old, new, ratio) for every metric more
+    than ``threshold`` below the (machine-factor-adjusted) baseline."""
+    for section, size, metric, old, new in _paired_metrics(baseline, fresh):
+        expected = old * factor
+        if new < expected * (1.0 - threshold):
+            yield section, size, metric, expected, new, new / expected
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--baseline",
+        default=os.environ.get("BENCH_BASELINE", DEFAULT_OUT),
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_THRESHOLD", "0.25")),
+        help="allowed fractional regression (0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--full", action="store_true",
+        help="run the full benchmark sizes instead of the quick subset",
+    )
+    args = ap.parse_args(argv)
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run bench_prover_hotpaths.py first")
+        return 2
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    # Best-of-3 timing: single-shot numbers jitter more than the 25% gate.
+    fresh = run_benchmarks(repeats=3, quick=not args.full)
+    factor = machine_factor(baseline, fresh)
+    if abs(factor - 1.0) > 0.15:
+        print(
+            f"note: this machine runs {factor:.2f}x the baseline overall; "
+            "gating relative to that factor (re-baseline if hardware changed)"
+        )
+    regressions = list(compare(baseline, fresh, args.threshold, factor))
+    checked = len(list(_paired_metrics(baseline, fresh)))
+    if regressions:
+        print(f"PERF REGRESSION ({len(regressions)} of {checked} metrics):")
+        for section, size, metric, expected, new, ratio in regressions:
+            print(
+                f"  {section}[n={size}].{metric}: expected ~{expected:,.0f}, "
+                f"got {new:,.0f} ops/sec ({ratio:.2f}x)"
+            )
+        return 1
+    print(
+        f"perf OK: {checked} metrics within {args.threshold:.0%} of "
+        f"{args.baseline} (machine factor {factor:.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

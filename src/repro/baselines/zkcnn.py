@@ -118,6 +118,7 @@ class ZkCnnMatmul:
             y_claim,
             tr,
             b"zkcnn-sc",
+            kernel="prod2",
         )
         x_opening = x_h.open(r1 + rk)
         w_opening = w_h.open(rk + r2)

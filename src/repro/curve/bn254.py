@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..field.extension import Fq2, Fq12, P
-from ..field.prime_field import BN254_FR_MODULUS, inv_mod
+from ..field.prime_field import BN254_FR_MODULUS, batch_inv_mod, inv_mod
 
 # Group order (prime) — scalars live mod this.
 CURVE_ORDER = BN254_FR_MODULUS
@@ -193,6 +193,160 @@ def _jac_add(p1: JacPoint, p2: JacPoint) -> JacPoint:
     return (nx, ny, nz)
 
 
+def _jac_add_affine(p1: JacPoint, p2: Tuple[int, int]) -> JacPoint:
+    """Mixed addition: Jacobian + affine (z2 = 1), saving ~4 field muls."""
+    if p1[2] == 0:
+        return (p2[0], p2[1], 1)
+    x1, y1, z1 = p1
+    x2, y2 = p2
+    z1z1 = z1 * z1 % P
+    u2 = x2 * z1z1 % P
+    s2 = y2 * z1 % P * z1z1 % P
+    if x1 == u2:
+        if y1 != s2:
+            return JAC_INFINITY
+        return _jac_double(p1)
+    h = (u2 - x1) % P
+    i = 4 * h * h % P
+    j = h * i % P
+    r = 2 * (s2 - y1) % P
+    v = x1 * i % P
+    nx = (r * r - j - 2 * v) % P
+    ny = (r * (v - nx) - 2 * y1 * j) % P
+    nz = 2 * h * z1 % P
+    return (nx, ny, nz)
+
+
+def _jac_normalize_batch(points: Sequence[JacPoint]) -> List[AffinePoint]:
+    """Convert many Jacobian points to affine with one shared inversion
+    (Montgomery's trick); infinities come back as ``None``."""
+    zs = [pt[2] for pt in points if pt[2] != 0]
+    invs = iter(batch_inv_mod(zs, P))
+    out: List[AffinePoint] = []
+    for x, y, z in points:
+        if z == 0:
+            out.append(None)
+            continue
+        z_inv = next(invs)
+        z2 = z_inv * z_inv % P
+        out.append((x * z2 % P, y * z2 % P * z_inv % P))
+    return out
+
+
+def batch_affine_reduce(
+    groups: Sequence[Sequence[AffinePoint]],
+) -> List[AffinePoint]:
+    """Sum each group of affine points using batched-inversion affine adds.
+
+    An affine addition costs one field inversion plus ~6 multiplications;
+    Montgomery's trick shares a single inversion across every independent
+    addition in a round.  Each group is reduced as a binary tree, so all
+    groups finish in ``O(log max_group)`` rounds and the per-addition cost
+    approaches ~9 multiplications — versus ~16 for a Jacobian addition
+    (plus the final normalisation inversions a Jacobian accumulator needs).
+    """
+    queues: List[List[Tuple[int, int]]] = [
+        [pt for pt in grp if pt is not None] for grp in groups
+    ]
+    active = [qi for qi, q in enumerate(queues) if len(q) >= 2]
+    while active:
+        dens: List[int] = []
+        qis: List[int] = []
+        lhs: List[Tuple[int, int]] = []
+        rhs: List[Tuple[int, int]] = []
+        for qi in active:
+            pts = queues[qi]
+            keep: List[Tuple[int, int]] = []
+            n = len(pts)
+            for i in range(0, n - 1, 2):
+                p1 = pts[i]
+                p2 = pts[i + 1]
+                if p1[0] == p2[0] and (p1[1] + p2[1]) % P == 0:
+                    continue  # p1 + p2 = infinity: drop the pair.
+                qis.append(qi)
+                lhs.append(p1)
+                rhs.append(p2)
+                # Doubling needs 2y, chord addition x2 - x1; batch_inv_mod
+                # reduces mod P itself.
+                dens.append(2 * p1[1] if p1[0] == p2[0] else p2[0] - p1[0])
+            if n & 1:
+                keep.append(pts[n - 1])
+            queues[qi] = keep
+        if not dens:
+            break
+        invs = batch_inv_mod(dens, P)
+        for qi, p1, p2, inv in zip(qis, lhs, rhs, invs):
+            x1, y1 = p1
+            x2, y2 = p2
+            if x1 == x2:
+                slope = 3 * x1 * x1 % P * inv % P
+            else:
+                slope = (y2 - y1) * inv % P
+            nx = (slope * slope - x1 - x2) % P
+            queues[qi].append((nx, (slope * (x1 - nx) - y1) % P))
+        active = [qi for qi in active if len(queues[qi]) >= 2]
+    return [q[0] if q else None for q in queues]
+
+
+def batch_affine_pairwise_add(
+    lhs: Sequence[AffinePoint], rhs: Sequence[AffinePoint]
+) -> List[AffinePoint]:
+    """Elementwise ``lhs[i] + rhs[i]`` sharing one inversion across all the
+    independent additions (infinities pass through for free)."""
+    dens: List[int] = []
+    idxs: List[int] = []
+    out: List[AffinePoint] = [None] * len(lhs)
+    for i, (p1, p2) in enumerate(zip(lhs, rhs)):
+        if p1 is None:
+            out[i] = p2
+            continue
+        if p2 is None:
+            out[i] = p1
+            continue
+        if p1[0] == p2[0] and (p1[1] + p2[1]) % P == 0:
+            continue  # cancels to infinity
+        idxs.append(i)
+        dens.append(2 * p1[1] if p1[0] == p2[0] else p2[0] - p1[0])
+    if not dens:
+        return out
+    invs = batch_inv_mod(dens, P)
+    for i, inv in zip(idxs, invs):
+        x1, y1 = lhs[i]
+        x2, y2 = rhs[i]
+        if x1 == x2:
+            slope = 3 * x1 * x1 % P * inv % P
+        else:
+            slope = (y2 - y1) * inv % P
+        nx = (slope * slope - x1 - x2) % P
+        out[i] = (nx, (slope * (x1 - nx) - y1) % P)
+    return out
+
+
+def batch_affine_weighted_bucket_sums(
+    bucket_sets: Sequence[Sequence[AffinePoint]],
+) -> List[AffinePoint]:
+    """For each bucket array compute ``sum_d (d+1) * buckets[d]`` — the
+    Pippenger window aggregation — running every array's suffix-sum sweep in
+    lockstep so each step's additions share a single batched inversion."""
+    if not bucket_sets:
+        return []
+    width = len(bucket_sets)
+    length = len(bucket_sets[0])
+    running: List[AffinePoint] = [None] * width
+    totals: List[AffinePoint] = [None] * width
+    for d in range(length - 1, -1, -1):
+        running = batch_affine_pairwise_add(
+            running, [bs[d] for bs in bucket_sets]
+        )
+        totals = batch_affine_pairwise_add(totals, running)
+    return totals
+
+
+def batch_affine_sum(points: Sequence[AffinePoint]) -> AffinePoint:
+    """Sum one list of affine points via :func:`batch_affine_reduce`."""
+    return batch_affine_reduce([points])[0]
+
+
 def _jac_mul(pt: JacPoint, scalar: int) -> JacPoint:
     """Left-to-right 4-bit windowed scalar multiplication."""
     if scalar == 0 or pt[2] == 0:
@@ -259,15 +413,48 @@ def _ext_jac_add(p1, p2):
     return (nx, ny, nz)
 
 
-def _ext_jac_mul(point, scalar: int):
-    one = type(point[0]).one()
-    result = (one, one, None)
-    addend = (point[0], point[1], one)
+def _wnaf_digits(scalar: int, w: int) -> List[int]:
+    """Width-``w`` NAF: odd digits in ``(-2^(w-1), 2^(w-1))`` separated by
+    at least ``w - 1`` zeros, so only ``~254/w`` additions are needed."""
+    digits: List[int] = []
+    half = 1 << (w - 1)
+    full = 1 << w
     while scalar:
         if scalar & 1:
-            result = _ext_jac_add(result, addend)
-        addend = _ext_jac_double(addend)
+            d = scalar & (full - 1)
+            if d >= half:
+                d -= full
+            scalar -= d
+        else:
+            d = 0
+        digits.append(d)
         scalar >>= 1
+    return digits
+
+
+def _ext_jac_mul(point, scalar: int):
+    """wNAF scalar multiplication over extension-field Jacobian points:
+    one doubling per bit plus ~254/4 additions from an odd-multiples table
+    (extension-field additions are expensive, so the window pays off fast).
+    """
+    one = type(point[0]).one()
+    if scalar == 0:
+        return (one, one, None)
+    w = 4
+    base = (point[0], point[1], one)
+    dbl = _ext_jac_double(base)
+    # Odd multiples 1P, 3P, ..., (2^(w-1) - 1)P.
+    odd = [base]
+    for _ in range((1 << (w - 2)) - 1):
+        odd.append(_ext_jac_add(odd[-1], dbl))
+    result = (one, one, None)
+    for d in reversed(_wnaf_digits(scalar, w)):
+        result = _ext_jac_double(result)
+        if d > 0:
+            result = _ext_jac_add(result, odd[d >> 1])
+        elif d < 0:
+            x, y, z = odd[(-d) >> 1]
+            result = _ext_jac_add(result, (x, -y, z))
     return result
 
 
@@ -327,12 +514,24 @@ def g1_neg(point: AffinePoint) -> AffinePoint:
     return neg(point)
 
 
+# Below this count the Jacobian loop beats batch-affine's scheduling
+# overhead; above it the shared-inversion tree reduction wins.
+_BATCH_AFFINE_SUM_THRESHOLD = 16
+
+
 def g1_sum(points: Sequence[AffinePoint]) -> AffinePoint:
-    """Sum many G1 points using Jacobian accumulation."""
+    """Sum many G1 points.
+
+    Small inputs use straightforward Jacobian accumulation; larger ones go
+    through the batch-affine tree reduction, which shares one field
+    inversion across every independent addition in a round.
+    """
+    live = [pt for pt in points if pt is not None]
+    if len(live) >= _BATCH_AFFINE_SUM_THRESHOLD:
+        return batch_affine_sum(live)
     acc = JAC_INFINITY
-    for pt in points:
-        if pt is not None:
-            acc = _jac_add(acc, _affine_to_jac(pt))
+    for pt in live:
+        acc = _jac_add_affine(acc, pt)
     return _jac_to_affine(acc)
 
 

@@ -1,0 +1,270 @@
+"""Fixed-base scalar multiplication: precomputed window tables over G1.
+
+The prover's hottest MSMs run over *fixed* generator vectors — the Pedersen
+generators behind every Hyrax row commitment, and the Groth16 proving-key
+queries, which are reused across proofs.  Precomputing shifted multiples of
+each base turns those MSMs into pure table lookups:
+
+* :class:`FixedBaseTable` — a dense digit table for one heavily reused point
+  (the Pedersen blinder generator, the G1 generator).  A scalar mul becomes
+  ``~254/w`` mixed additions with **no doublings**.
+* :class:`FixedBaseMSM` — per base point, the shifted copies
+  ``2^(i*w) * P_j``.  An MSM then scatters signed digits into a *single*
+  shared bucket space (the window shift is baked into the point, so digits
+  from every window can share buckets) and reduces it with batch-affine
+  additions — no doublings, no per-window passes.
+* :func:`fixed_base_msm` — a keyed cache with promote-on-reuse semantics:
+  the first sighting of a base vector uses the generic Pippenger MSM, the
+  second builds tables.  One-shot callers never pay the precompute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..field.extension import P as _FQ
+from .bn254 import (
+    JAC_INFINITY,
+    AffinePoint,
+    CURVE_ORDER,
+    JacPoint,
+    _affine_to_jac,
+    _jac_add,
+    _jac_add_affine,
+    _jac_double,
+    _jac_normalize_batch,
+    _jac_to_affine,
+    batch_affine_reduce,
+    batch_affine_weighted_bucket_sums,
+)
+from .msm import msm as _generic_msm
+from .msm import signed_digits
+
+_SCALAR_BITS = CURVE_ORDER.bit_length()
+
+
+class FixedBaseTable:
+    """Dense windowed table for one reused point.
+
+    Window ``i`` stores ``d * 2^(i*w) * P`` for every digit ``d`` in
+    ``1..2^w-1``, so ``mul`` is one mixed addition per window and nothing
+    else.  Storage is ``(254/w) * (2^w - 1)`` affine points — w=4 keeps that
+    under a thousand, the sweet spot for points reused hundreds of times.
+    """
+
+    def __init__(self, point: AffinePoint, window: int = 4):
+        self.point = point
+        self.window = window
+        self.num_windows = (_SCALAR_BITS + window - 1) // window
+        self.tables: List[List[AffinePoint]] = []
+        if point is None:
+            return
+        digits_per_window = (1 << window) - 1
+        jacs: List[JacPoint] = []
+        base = _affine_to_jac(point)
+        for _ in range(self.num_windows):
+            acc = base
+            for _d in range(digits_per_window):
+                jacs.append(acc)
+                acc = _jac_add(acc, base)
+            base = acc  # (2^w - 1) * base + base = 2^w * base
+        flat = _jac_normalize_batch(jacs)
+        self.tables = [
+            flat[i * digits_per_window:(i + 1) * digits_per_window]
+            for i in range(self.num_windows)
+        ]
+
+    def mul(self, scalar: int) -> AffinePoint:
+        """``scalar * P`` via table lookups (matches ``multiply``)."""
+        scalar %= CURVE_ORDER
+        if scalar == 0 or self.point is None:
+            return None
+        mask = (1 << self.window) - 1
+        acc: JacPoint = JAC_INFINITY
+        i = 0
+        while scalar:
+            d = scalar & mask
+            if d:
+                acc = _jac_add_affine(acc, self.tables[i][d - 1])
+            scalar >>= self.window
+            i += 1
+        return _jac_to_affine(acc)
+
+
+class FixedBaseMSM:
+    """Fixed-base MSM over a vector of bases with shared signed-digit
+    buckets.
+
+    Per base only the shifted copies ``2^(i*w) * P_j`` are stored (33 points
+    at w=8), built with a doubling chain and one batched normalisation.
+    Because each window's shift lives in the precomputed point, the digits
+    of *every* window land in one bucket space of ``2^(w-1)`` signed
+    buckets; the whole MSM is ``n * 254/w`` batch-affine bucket insertions
+    plus a single aggregation sweep.
+    """
+
+    def __init__(
+        self, points: Sequence[AffinePoint] = (), window: int = 8
+    ):
+        self.window = window
+        self.half = 1 << (window - 1)
+        self.num_windows = (_SCALAR_BITS + window) // window + 1
+        self.shifted: List[Optional[List[AffinePoint]]] = []
+        if points:
+            self.extend(points)
+
+    def __len__(self) -> int:
+        return len(self.shifted)
+
+    def extend(self, points: Sequence[AffinePoint]) -> None:
+        """Append precomputed rows for ``points``."""
+        jacs: List[JacPoint] = []
+        for pt in points:
+            if pt is None:
+                continue
+            cur = _affine_to_jac(pt)
+            for i in range(self.num_windows):
+                jacs.append(cur)
+                if i + 1 < self.num_windows:
+                    for _ in range(self.window):
+                        cur = _jac_double(cur)
+        flat = _jac_normalize_batch(jacs)
+        offset = 0
+        for pt in points:
+            if pt is None:
+                self.shifted.append(None)
+            else:
+                self.shifted.append(flat[offset:offset + self.num_windows])
+                offset += self.num_windows
+
+    def _fill_groups(
+        self,
+        groups: List[List[Tuple[int, int]]],
+        scalars: Sequence[int],
+        base: int,
+    ) -> None:
+        w, nw, half = self.window, self.num_windows, self.half
+        for j, sc in enumerate(scalars):
+            sc %= CURVE_ORDER
+            row = self.shifted[j]
+            if sc == 0 or row is None:
+                continue
+            for i, d in enumerate(signed_digits(sc, w, nw)):
+                if d > 0:
+                    groups[base + d - 1].append(row[i])
+                elif d:
+                    pt = row[i]
+                    groups[base - d - 1].append((pt[0], -pt[1] % _FQ))
+
+    def msm(self, scalars: Sequence[int]) -> AffinePoint:
+        """``sum_j scalars[j] * P_j`` (scalars may be a prefix)."""
+        if len(scalars) > len(self.shifted):
+            raise ValueError("more scalars than precomputed bases")
+        groups: List[List[Tuple[int, int]]] = [[] for _ in range(self.half)]
+        self._fill_groups(groups, scalars, 0)
+        buckets = batch_affine_reduce(groups)
+        running: JacPoint = JAC_INFINITY
+        total: JacPoint = JAC_INFINITY
+        for d in range(self.half - 1, -1, -1):
+            b = buckets[d]
+            if b is not None:
+                running = _jac_add_affine(running, b)
+            if running != JAC_INFINITY:
+                total = _jac_add(total, running)
+        return _jac_to_affine(total)
+
+    def msm_many(
+        self, scalar_rows: Sequence[Sequence[int]]
+    ) -> List[AffinePoint]:
+        """Many MSMs over the same bases — every row's buckets reduce in one
+        batch-affine call and aggregate in one lockstep sweep, so the
+        inversion cost is shared across the whole matrix (this is the Hyrax
+        row-commitment hot path)."""
+        half = self.half
+        groups: List[List[Tuple[int, int]]] = [
+            [] for _ in range(len(scalar_rows) * half)
+        ]
+        for r, row in enumerate(scalar_rows):
+            if len(row) > len(self.shifted):
+                raise ValueError("more scalars than precomputed bases")
+            self._fill_groups(groups, row, r * half)
+        buckets = batch_affine_reduce(groups)
+        return batch_affine_weighted_bucket_sums(
+            [buckets[r * half:(r + 1) * half] for r in range(len(scalar_rows))]
+        )
+
+
+class _CacheEntry:
+    __slots__ = ("points", "table", "hits")
+
+    def __init__(self, points: Sequence[AffinePoint]):
+        self.points = points
+        self.table: Optional[FixedBaseMSM] = None
+        self.hits = 0
+
+
+# LRU keyed by caller label; sized for ~6 proving keys (4 labels each)
+# resident at once so rotating among a few keys never churns out a
+# half-promoted entry or a built table.  A second, size-based bound caps
+# the total bases held by *promoted* entries: each promoted base pins ~33
+# affine tuples of window table, so without it a few huge proving keys
+# could pin gigabytes for the life of the process.
+_FIXED_BASE_CACHE: Dict[object, _CacheEntry] = {}
+_CACHE_LIMIT = 24
+_CACHE_TABLE_POINT_LIMIT = 1 << 14
+
+
+def fixed_base_msm(
+    label: object,
+    points: Sequence[AffinePoint],
+    scalars: Sequence[int],
+    build_after: int = 2,
+) -> AffinePoint:
+    """MSM over ``points`` with promote-on-reuse fixed-base caching.
+
+    The first call under a given ``label`` runs the generic Pippenger MSM;
+    once the same base vector shows up ``build_after`` times, window tables
+    are built and every later call skips all doublings.  The cache holds a
+    reference to ``points``, so the identity check can never be confused by
+    id reuse; a label rebound to a different vector simply resets its entry.
+    """
+    entry = _FIXED_BASE_CACHE.pop(label, None)
+    if entry is None or entry.points is not points:
+        entry = _CacheEntry(points)
+    # Re-insert at the back: LRU order, so hot labels survive eviction.
+    _FIXED_BASE_CACHE[label] = entry
+    while len(_FIXED_BASE_CACHE) > _CACHE_LIMIT:
+        _FIXED_BASE_CACHE.pop(next(iter(_FIXED_BASE_CACHE)))
+    entry.hits += 1
+    if entry.table is None and entry.hits >= build_after:
+        entry.table = FixedBaseMSM(points)
+        _evict_oversized_tables(keep=entry)
+    if len(scalars) > len(points):
+        raise ValueError("more scalars than bases")
+    if entry.table is not None:
+        return entry.table.msm(scalars)
+    if len(scalars) < len(points):
+        return _generic_msm(list(points[: len(scalars)]), scalars)
+    return _generic_msm(points, scalars)
+
+
+def _evict_oversized_tables(keep: _CacheEntry) -> None:
+    """Drop the least-recently-used *promoted* entries until the total
+    table footprint fits the point budget (the newest table always stays)."""
+    total = sum(
+        len(e.points) for e in _FIXED_BASE_CACHE.values() if e.table
+    )
+    if total <= _CACHE_TABLE_POINT_LIMIT:
+        return
+    for lbl in list(_FIXED_BASE_CACHE):
+        e = _FIXED_BASE_CACHE[lbl]
+        if e.table is None or e is keep:
+            continue
+        total -= len(e.points)
+        del _FIXED_BASE_CACHE[lbl]
+        if total <= _CACHE_TABLE_POINT_LIMIT:
+            return
+
+
+def clear_fixed_base_cache() -> None:
+    _FIXED_BASE_CACHE.clear()

@@ -1,15 +1,28 @@
 """Multi-scalar multiplication (Pippenger bucket method) over BN254 G1.
 
 MSM dominates Groth16's prover cost, so it gets a real algorithm rather than
-a naive loop: with ``n`` points and window size ``c`` the cost is roughly
-``(254/c) * (n + 2^c)`` point additions instead of ``254 * n / 2`` for the
-naive double-and-add per point.
+a naive loop.  Two variants live here:
+
+* a classic Jacobian Pippenger (``_msm_jacobian``), kept for tiny inputs
+  where scheduling overhead would dominate, and
+* a signed-digit (wNAF) Pippenger with batch-affine bucket accumulation
+  (``_msm_batch_affine``).  Signed digits halve the bucket count (the
+  negation of an affine point is free), and every bucket addition within a
+  round shares a single field inversion via Montgomery's trick, so the
+  per-point cost drops from ~16 Jacobian multiplications to ~9
+  affine-equivalent multiplications.
+
+With ``n`` points and window size ``c`` the cost is roughly
+``(254/c) * n`` batched affine additions plus ``(254/c) * 2^c`` Jacobian
+additions for the bucket aggregation, instead of ``254 * n / 2`` doublings
+and additions for naive double-and-add per point.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..field.extension import P as _FQ
 from .bn254 import (
     JAC_INFINITY,
     AffinePoint,
@@ -17,9 +30,17 @@ from .bn254 import (
     JacPoint,
     _affine_to_jac,
     _jac_add,
+    _jac_add_affine,
     _jac_double,
     _jac_to_affine,
+    batch_affine_reduce,
+    batch_affine_weighted_bucket_sums,
 )
+
+_SCALAR_BITS = CURVE_ORDER.bit_length()
+
+# Below this count the Jacobian fallback wins (no batch scheduling to set up).
+_BATCH_AFFINE_MSM_THRESHOLD = 16
 
 
 def _window_size(n: int) -> int:
@@ -34,6 +55,48 @@ def _window_size(n: int) -> int:
     return 12
 
 
+def _signed_window_size(n: int) -> int:
+    """Window size for the batch-affine path.
+
+    Bucket aggregation costs ``2^(c-1)`` lockstep batched rounds per MSM,
+    which weighs more per op than the batched per-point additions — the
+    optimum (measured on CPython) sits well below the classic ``log2 n``
+    rule.
+    """
+    if n < 128:
+        return 5
+    if n < 512:
+        return 6
+    if n < 2048:
+        return 7
+    if n < 8192:
+        return 8
+    if n < 32768:
+        return 9
+    return 10
+
+
+def signed_digits(scalar: int, c: int, num_windows: int) -> List[int]:
+    """Base-``2^c`` signed-digit recoding with digits in ``[-2^(c-1)+1,
+    2^(c-1)]``; ``num_windows`` must cover ``scalar.bit_length() + 1`` bits
+    so the final carry is absorbed."""
+    mask = (1 << c) - 1
+    half = 1 << (c - 1)
+    digits = [0] * num_windows
+    carry = 0
+    for i in range(num_windows):
+        d = ((scalar >> (i * c)) & mask) + carry
+        if d > half:
+            d -= 1 << c
+            carry = 1
+        else:
+            carry = 0
+        digits[i] = d
+    if carry:
+        raise ValueError("num_windows too small for scalar")
+    return digits
+
+
 def msm(points: Sequence[AffinePoint], scalars: Sequence[int]) -> AffinePoint:
     """``sum_i scalars[i] * points[i]`` over G1.
 
@@ -42,21 +105,71 @@ def msm(points: Sequence[AffinePoint], scalars: Sequence[int]) -> AffinePoint:
     """
     if len(points) != len(scalars):
         raise ValueError("points and scalars must have equal length")
-    pairs: List[Tuple[JacPoint, int]] = []
+    pts: List[Tuple[int, int]] = []
+    scs: List[int] = []
     for pt, sc in zip(points, scalars):
         sc %= CURVE_ORDER
         if pt is None or sc == 0:
             continue
-        pairs.append((_affine_to_jac(pt), sc))
-    if not pairs:
+        pts.append(pt)
+        scs.append(sc)
+    if not pts:
         return None
-    if len(pairs) == 1:
-        jac, sc = pairs[0]
-        return _jac_to_affine(_jac_mul_simple(jac, sc))
+    if len(pts) == 1:
+        return _jac_to_affine(_jac_mul_simple(_affine_to_jac(pts[0]), scs[0]))
+    if len(pts) < _BATCH_AFFINE_MSM_THRESHOLD:
+        return _msm_jacobian(pts, scs)
+    return _msm_batch_affine(pts, scs)
 
-    c = _window_size(len(pairs))
-    num_windows = (CURVE_ORDER.bit_length() + c - 1) // c
+
+def _msm_batch_affine(
+    pts: List[Tuple[int, int]], scs: List[int]
+) -> AffinePoint:
+    """Signed-digit Pippenger with batch-affine buckets.
+
+    All windows' buckets are filled and reduced in one
+    :func:`batch_affine_reduce` call, maximising the batch size each
+    inversion is shared across; only the per-window aggregation and the
+    window-combining doublings stay in Jacobian coordinates.
+    """
+    c = _signed_window_size(len(pts))
+    half = 1 << (c - 1)
+    num_windows = (_SCALAR_BITS + c) // c + 1
+    # groups[w * half + (|d| - 1)] collects points with digit d in window w.
+    groups: List[List[Tuple[int, int]]] = [
+        [] for _ in range(num_windows * half)
+    ]
+    for pt, sc in zip(pts, scs):
+        base = 0
+        for d in signed_digits(sc, c, num_windows):
+            if d > 0:
+                groups[base + d - 1].append(pt)
+            elif d < 0:
+                groups[base - d - 1].append((pt[0], -pt[1] % _FQ))
+            base += half
+    buckets = batch_affine_reduce(groups)
+    window_sums = batch_affine_weighted_bucket_sums(
+        [buckets[w * half:(w + 1) * half] for w in range(num_windows)]
+    )
+
+    result: JacPoint = JAC_INFINITY
+    for w in range(num_windows - 1, -1, -1):
+        if result != JAC_INFINITY:
+            for _ in range(c):
+                result = _jac_double(result)
+        if window_sums[w] is not None:
+            result = _jac_add_affine(result, window_sums[w])
+    return _jac_to_affine(result)
+
+
+def _msm_jacobian(
+    pts: List[Tuple[int, int]], scs: List[int]
+) -> AffinePoint:
+    """Classic unsigned-window Pippenger in Jacobian coordinates."""
+    c = _window_size(len(pts))
+    num_windows = (_SCALAR_BITS + c - 1) // c
     mask = (1 << c) - 1
+    jacs = [_affine_to_jac(pt) for pt in pts]
 
     result: JacPoint = JAC_INFINITY
     for w in range(num_windows - 1, -1, -1):
@@ -65,7 +178,7 @@ def msm(points: Sequence[AffinePoint], scalars: Sequence[int]) -> AffinePoint:
                 result = _jac_double(result)
         buckets: List[Optional[JacPoint]] = [None] * (1 << c)
         shift = w * c
-        for jac, sc in pairs:
+        for jac, sc in zip(jacs, scs):
             digit = (sc >> shift) & mask
             if digit:
                 cur = buckets[digit]

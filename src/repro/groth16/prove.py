@@ -17,7 +17,7 @@ import secrets
 from typing import Callable, List, Optional, Sequence
 
 from ..curve.bn254 import CURVE_ORDER, add, g1_generator, multiply, neg
-from ..curve.msm import msm
+from ..curve.fixed_base import fixed_base_msm
 from ..field.ntt import evaluate_on_coset, interpolate_from_coset, intt, ntt
 from ..field.prime_field import inv_mod
 from ..r1cs.system import R1CSInstance
@@ -84,8 +84,15 @@ def prove(
 
     g1 = g1_generator()
 
+    # The query bases are fixed per proving key and reused across proofs,
+    # so the four G1 MSMs go through the fixed-base cache: the second proof
+    # under the same key builds window tables and every later MSM runs with
+    # no doublings at all.  (Labels carry id(pk) only to spread keys across
+    # cache slots; ids can be recycled after pk is gc'd, and correctness
+    # relies on the cache's own identity check on the points list, which
+    # resets any stale entry.)
     # pi_A = alpha + sum c_i u_i(tau) + r*delta
-    a_acc = msm(pk.a_query, assignment)
+    a_acc = fixed_base_msm(("groth16-a", id(pk)), pk.a_query, assignment)
     pi_a = add(add(pk.alpha_g1, a_acc), multiply(pk.delta_g1, r))
 
     # pi_B (G2) = beta + sum c_i v_i(tau) + s*delta ; G1 copy for pi_C.
@@ -94,15 +101,17 @@ def prove(
         if point is not None and value % R:
             b_acc_g2 = add(b_acc_g2, multiply(point, value))
     pi_b = add(add(pk.beta_g2, b_acc_g2), multiply(pk.delta_g2, s))
-    b_acc_g1 = msm(pk.b_g1_query, assignment)
+    b_acc_g1 = fixed_base_msm(
+        ("groth16-b1", id(pk)), pk.b_g1_query, assignment
+    )
     pi_b_g1 = add(add(pk.beta_g1, b_acc_g1), multiply(pk.delta_g1, s))
 
     # pi_C = K-query MSM + h(tau)t(tau)/delta + s*A + r*B1 - r*s*delta
     witness = list(assignment[pk.num_public:])
-    k_acc = msm(pk.k_query, witness)
+    k_acc = fixed_base_msm(("groth16-k", id(pk)), pk.k_query, witness)
 
     h_coeffs = _compute_h(instance, assignment, pk.domain_size)
-    h_acc = msm(pk.h_query[: len(h_coeffs)], h_coeffs)
+    h_acc = fixed_base_msm(("groth16-h", id(pk)), pk.h_query, h_coeffs)
 
     pi_c = add(k_acc, h_acc)
     pi_c = add(pi_c, multiply(pi_a, s))

@@ -10,7 +10,12 @@ from .commitment import (
     pedersen_generators,
 )
 from .snark import SpartanProof, prove, verify
-from .sumcheck import SumcheckProof, sumcheck_prove, sumcheck_verify
+from .sumcheck import (
+    SumcheckProof,
+    sumcheck_prove,
+    sumcheck_prove_reference,
+    sumcheck_verify,
+)
 from .transcript import Transcript
 
 __all__ = [
@@ -26,6 +31,7 @@ __all__ = [
     "pedersen_generators",
     "prove",
     "sumcheck_prove",
+    "sumcheck_prove_reference",
     "sumcheck_verify",
     "verify",
 ]

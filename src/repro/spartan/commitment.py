@@ -25,12 +25,14 @@ from ..curve.bn254 import (
     AffinePoint,
     CURVE_ORDER,
     add,
+    batch_affine_pairwise_add,
     eq,
     g1_sum,
     is_on_curve,
     multiply,
     neg,
 )
+from ..curve.fixed_base import FixedBaseMSM, FixedBaseTable
 from ..curve.msm import msm
 from ..field.extension import P as FQ_MODULUS
 from ..field.prime_field import sqrt_mod
@@ -62,6 +64,12 @@ def hash_to_g1(label: bytes) -> AffinePoint:
 _GENERATOR_CACHE: List[AffinePoint] = []
 _BLINDER_GEN: Optional[AffinePoint] = None
 
+# Fixed-base window tables, grown in lockstep with the generator cache: the
+# generators never change, so every row commitment in the process reuses
+# the same precomputed shifted multiples.
+_GEN_FIXED_BASE = FixedBaseMSM()
+_BLINDER_TABLE: Optional[FixedBaseTable] = None
+
 
 def pedersen_generators(count: int) -> List[AffinePoint]:
     """Deterministic independent generators G_0..G_{count-1} (cached)."""
@@ -71,6 +79,16 @@ def pedersen_generators(count: int) -> List[AffinePoint]:
     return _GENERATOR_CACHE[:count]
 
 
+def generator_fixed_base(count: int) -> FixedBaseMSM:
+    """Fixed-base tables for the first ``count`` canonical generators."""
+    pedersen_generators(count)
+    if len(_GEN_FIXED_BASE) < count:
+        _GEN_FIXED_BASE.extend(
+            _GENERATOR_CACHE[len(_GEN_FIXED_BASE):count]
+        )
+    return _GEN_FIXED_BASE
+
+
 def blinder_generator() -> AffinePoint:
     global _BLINDER_GEN
     if _BLINDER_GEN is None:
@@ -78,12 +96,35 @@ def blinder_generator() -> AffinePoint:
     return _BLINDER_GEN
 
 
+def blinder_table() -> FixedBaseTable:
+    global _BLINDER_TABLE
+    if _BLINDER_TABLE is None:
+        _BLINDER_TABLE = FixedBaseTable(blinder_generator())
+    return _BLINDER_TABLE
+
+
+def _is_canonical_generators(
+    generators: Sequence[AffinePoint], count: int
+) -> bool:
+    """True iff ``generators[:count]`` are exactly the cached canonical
+    generators (identity comparison — identical objects imply equal points,
+    so the fixed-base fast path below is sound)."""
+    if count > len(_GENERATOR_CACHE) or count > len(generators):
+        return False
+    cache = _GENERATOR_CACHE
+    return all(generators[i] is cache[i] for i in range(count))
+
+
 def pedersen_commit(
     values: Sequence[int], blinder: int, generators: Sequence[AffinePoint]
 ) -> AffinePoint:
-    acc = msm(list(generators[: len(values)]), list(values))
+    n = len(values)
+    if _is_canonical_generators(generators, n):
+        acc = generator_fixed_base(n).msm(values)
+    else:
+        acc = msm(list(generators[:n]), list(values))
     if blinder:
-        acc = add(acc, multiply(blinder_generator(), blinder))
+        acc = add(acc, blinder_table().mul(blinder))
     return acc
 
 
@@ -134,11 +175,16 @@ class HyraxProver:
         self.blinders = [rng() % R for _ in self.rows]
 
     def commit(self) -> HyraxCommitment:
-        gens = pedersen_generators(1 << self.col_vars)
-        commits = [
-            pedersen_commit(row, blind, gens)
-            for row, blind in zip(self.rows, self.blinders)
-        ]
+        # All rows share the canonical generators, so the whole matrix
+        # commits through the fixed-base tables in one batched pass: every
+        # bucket insertion and aggregation addition across all rows shares
+        # batched inversions, and the blinder multiples come from a dense
+        # window table with no doublings.
+        fb = generator_fixed_base(1 << self.col_vars)
+        row_accs = fb.msm_many(self.rows)
+        btab = blinder_table()
+        blinds = [btab.mul(b) for b in self.blinders]
+        commits = batch_affine_pairwise_add(row_accs, blinds)
         return HyraxCommitment(
             row_commits=commits,
             num_vars=self.num_vars,

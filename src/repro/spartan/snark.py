@@ -110,7 +110,8 @@ def prove(
         return e * ((a * b - c) % R) % R
 
     sc1, rx, finals1 = sumcheck_prove(
-        [eq_tau, az, bz, cz], combine1, 3, 0, transcript, b"sc1"
+        [eq_tau, az, bz, cz], combine1, 3, 0, transcript, b"sc1",
+        kernel="eq_abc",
     )
     va, vb, vc = finals1[1], finals1[2], finals1[3]
     transcript.append_scalars(b"vabc", [va, vb, vc])
@@ -136,7 +137,8 @@ def prove(
         return vals[0] * vals[1] % R
 
     sc2, ry, _finals2 = sumcheck_prove(
-        [m_table, z_table], combine2, 2, claim2, transcript, b"sc2"
+        [m_table, z_table], combine2, 2, claim2, transcript, b"sc2",
+        kernel="prod2",
     )
 
     # 4. Open the witness MLE at ry[1:].

@@ -8,51 +8,32 @@ to a single evaluation ``g(r)`` through ``m`` rounds.  ``g`` is given as a
 product/combination of multilinear tables: each round the prover sends the
 round polynomial's evaluations at ``t = 0..degree`` and binds the first free
 variable to the verifier's challenge.
+
+The production prover lives in :mod:`sumcheck_fast` (in-place binding, the
+round-claim shortcut, and specialized no-callback kernels) and is re-exported
+here, so ``snark.py``, ``baselines/zkcnn.py`` and everything above them pick
+it up transparently.  ``sumcheck_prove_reference`` keeps the naive
+one-combine-call-per-term prover as the cross-check oracle for equivalence
+tests and benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from ..field.prime_field import BN254_FR_MODULUS, inv_mod
+from ..field.prime_field import BN254_FR_MODULUS
+from .sumcheck_fast import (  # noqa: F401  (re-exports)
+    Combine,
+    SumcheckProof,
+    _interpolate_eval,
+    sumcheck_prove,
+)
 from .transcript import Transcript
 
 R = BN254_FR_MODULUS
 
-Combine = Callable[[Sequence[int]], int]
 
-
-@dataclass
-class SumcheckProof:
-    """Round polynomials as evaluation lists at t = 0..degree."""
-
-    round_polys: List[List[int]] = field(default_factory=list)
-
-    def size_bytes(self) -> int:
-        return 32 * sum(len(p) for p in self.round_polys)
-
-
-def _interpolate_eval(evals: Sequence[int], x: int) -> int:
-    """Evaluate the poly interpolating ``(i, evals[i])`` at ``x``
-    (small-degree Lagrange over the points 0..deg)."""
-    deg = len(evals) - 1
-    x %= R
-    if x <= deg:
-        return evals[x] % R
-    result = 0
-    for i, yi in enumerate(evals):
-        num, den = 1, 1
-        for j in range(deg + 1):
-            if j == i:
-                continue
-            num = num * ((x - j) % R) % R
-            den = den * ((i - j) % R) % R
-        result = (result + yi * num % R * inv_mod(den, R)) % R
-    return result
-
-
-def sumcheck_prove(
+def sumcheck_prove_reference(
     tables: List[List[int]],
     combine: Combine,
     degree: int,
@@ -60,13 +41,10 @@ def sumcheck_prove(
     transcript: Transcript,
     label: bytes = b"sumcheck",
 ) -> Tuple[SumcheckProof, List[int], List[int]]:
-    """Run the prover side.
-
-    ``tables`` are equal-length power-of-two evaluation tables; ``combine``
-    maps one value per table to the summand; ``degree`` bounds the per-round
-    degree in the bound variable.
-
-    Returns (proof, challenge point r, final bound values per table).
+    """Naive reference prover: every round evaluation goes through the
+    ``combine`` callback and every bind reallocates the tables.  Kept as the
+    equivalence oracle for the fast kernels — for honest claims it emits
+    byte-identical proofs to :func:`sumcheck_fast.sumcheck_prove`.
     """
     size = len(tables[0])
     if any(len(t) != size for t in tables):
@@ -75,9 +53,8 @@ def sumcheck_prove(
     tables = [list(t) for t in tables]
     proof = SumcheckProof()
     r_point: List[int] = []
-    current_claim = claim % R
 
-    for rnd in range(num_rounds):
+    for _rnd in range(num_rounds):
         half = len(tables[0]) // 2
         # Round polynomial evaluations at t = 0..degree.
         evals = [0] * (degree + 1)
@@ -99,7 +76,6 @@ def sumcheck_prove(
             [(t[i] + r * ((t[half + i] - t[i]) % R)) % R for i in range(half)]
             for t in tables
         ]
-        current_claim = _interpolate_eval(evals, r)
 
     finals = [t[0] for t in tables]
     return proof, r_point, finals
@@ -119,6 +95,13 @@ def sumcheck_verify(
     must still check ``final_claim`` against an oracle evaluation of ``g`` at
     the returned point.
     """
+    # A sumcheck round needs p(0) + p(1); degree-0 "proofs" are malformed,
+    # not an internal error.
+    if degree < 1:
+        return False, 0, []
+    # Fail truncated/overlong proofs fast, before absorbing any rounds.
+    if len(proof.round_polys) != num_rounds:
+        return False, 0, []
     current = claim % R
     r_point: List[int] = []
     for rnd_poly in proof.round_polys:
@@ -130,6 +113,4 @@ def sumcheck_verify(
         r = transcript.challenge_scalar(label + b"/challenge")
         r_point.append(r)
         current = _interpolate_eval(rnd_poly, r)
-    if len(proof.round_polys) != num_rounds:
-        return False, 0, r_point
     return True, current, r_point

@@ -23,6 +23,7 @@ from functools import lru_cache
 from typing import Dict, Optional
 
 from ..curve.bn254 import g1_generator, g2_generator, multiply
+from ..curve.fixed_base import FixedBaseMSM
 from ..curve.msm import msm
 from ..curve.pairing import pairing
 from ..field.ntt import next_power_of_two, ntt
@@ -40,6 +41,11 @@ class PrimitiveRates:
     field_mul_s: float
     ntt_per_elem_s: float
     pairing_s: float
+    # Per-point rate of a warm fixed-base MSM (precomputed window tables).
+    # Our Groth16/Hyrax provers run their MSMs over cached fixed bases, so
+    # their predictions use this rate; baseline stacks without the
+    # precomputation keep the generic ``g1_msm_per_point_s``.
+    g1_fixed_msm_per_point_s: float = 0.0
 
 
 @lru_cache(maxsize=1)
@@ -58,6 +64,11 @@ def measure_rates() -> PrimitiveRates:
     t0 = time.perf_counter()
     msm(pts, scs)
     g1_msm = (time.perf_counter() - t0) / 64
+
+    fb = FixedBaseMSM(pts)  # table build excluded: it amortises across proofs
+    t0 = time.perf_counter()
+    fb.msm(scs)
+    g1_fixed_msm = (time.perf_counter() - t0) / 64
 
     t0 = time.perf_counter()
     for i in range(4):
@@ -86,6 +97,7 @@ def measure_rates() -> PrimitiveRates:
         field_mul_s=field_mul,
         ntt_per_elem_s=ntt_per_elem,
         pairing_s=pairing_s,
+        g1_fixed_msm_per_point_s=g1_fixed_msm,
     )
 
 
@@ -113,8 +125,11 @@ class CostModel:
         g2_points = cost.b_wires
         ntt_elems = 9 * 2 * domain  # 3 intt + 3 coset-ntt + back, x2 size
         matvec = cost.terms
+        # The prover's G1 queries are fixed per proving key and served from
+        # cached window tables (see groth16/prove.py).
+        msm_rate = r.g1_fixed_msm_per_point_s or r.g1_msm_per_point_s
         t = (
-            msm_points * r.g1_msm_per_point_s
+            msm_points * msm_rate
             + g2_points * r.g2_mul_s
             + ntt_elems * r.ntt_per_elem_s * max(1, math.log2(domain) / 12)
             + matvec * r.field_mul_s * 2
@@ -147,9 +162,12 @@ class CostModel:
         )
         witness = cost.wires
         commit_points = witness + 2 * int(math.isqrt(max(1, witness)))
+        # Hyrax row commitments run over the cached fixed-base Pedersen
+        # generator tables (see spartan/commitment.py).
+        msm_rate = r.g1_fixed_msm_per_point_s or r.g1_msm_per_point_s
         t = (
             field_ops * r.field_mul_s
-            + commit_points * r.g1_msm_per_point_s
+            + commit_points * msm_rate
         )
         return t * self.correction["spartan"]
 
