@@ -157,6 +157,26 @@ def bench_hyrax(
     return out
 
 
+def merge_baseline(path: str, results: Dict[str, object]) -> Dict[str, object]:
+    """Merge ``results`` into the shared baseline file per *entry*: other
+    scripts' sections survive untouched, and a --quick run updates only
+    the sizes it re-timed instead of dropping the full-size rows."""
+    merged: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            merged = json.load(fh)
+    for section, entries in results.items():
+        existing = merged.get(section)
+        if isinstance(entries, dict) and isinstance(existing, dict):
+            existing.update(entries)
+        else:
+            merged[section] = entries
+    with open(path, "w") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return merged
+
+
 def run_benchmarks(repeats: int = 1, quick: bool = False) -> Dict[str, object]:
     msm_sizes = MSM_SIZES[:4] if quick else MSM_SIZES
     sc_sizes = SUMCHECK_SIZES[:4] if quick else SUMCHECK_SIZES
@@ -183,9 +203,7 @@ def main(argv=None) -> int:
     )
     args = ap.parse_args(argv)
     results = run_benchmarks(repeats=args.repeats, quick=args.quick)
-    with open(args.out, "w") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    merge_baseline(args.out, results)
     for section in ("msm", "sumcheck", "hyrax_commit"):
         print(f"[{section}]")
         for size, entry in sorted(

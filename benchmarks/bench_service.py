@@ -1,0 +1,120 @@
+"""Proving-service throughput -> the "service" section of BENCH_prover.json.
+
+Measures end-to-end proofs/sec for a batch of same-circuit Groth16 matmul
+jobs two ways:
+
+* ``naive_ops_per_sec`` — the seed-style loop: every job builds a fresh
+  prover (its own circuit build + trusted setup), proves, and is verified
+  with its own full pairing check;
+* ``fast_ops_per_sec`` — one ``ProvingService`` batch: setup and fixed-base
+  tables amortised across the group, bundles serialized to wire format,
+  and the whole batch checked with one small-exponent ``batch_verify``.
+
+The ratio is the serving-stack win the PR-2 refactor exists for.  Results
+merge into ``BENCH_prover.json`` (other sections untouched); the committed
+numbers are gated by ``check_regression.py --service``.
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from bench_prover_hotpaths import DEFAULT_OUT, merge_baseline  # noqa: E402
+from repro.core import MatmulProver, ProvingService  # noqa: E402
+from repro.core.artifacts import CircuitRegistry, KeyStore  # noqa: E402
+
+# (a, n, b, jobs): quick keeps CI fast, full is the committed baseline row.
+QUICK_CASES = [(2, 4, 2, 4)]
+FULL_CASES = [(2, 4, 2, 4), (4, 8, 4, 6)]
+
+
+def rand_mats(rng: random.Random, a: int, n: int, b: int):
+    x = [[rng.randrange(-40, 40) for _ in range(n)] for _ in range(a)]
+    w = [[rng.randrange(-40, 40) for _ in range(b)] for _ in range(n)]
+    return x, w
+
+
+def _bench_naive(jobs) -> float:
+    """Seed-style serving: per-job prover (fresh setup) + per-proof verify."""
+    t0 = time.perf_counter()
+    for a, n, b, x, w in jobs:
+        registry = CircuitRegistry()
+        keystore = KeyStore(registry=registry)
+        prover = MatmulProver(
+            a, n, b, backend="groth16", registry=registry, keystore=keystore
+        )
+        bundle = prover.prove(x, w)
+        assert prover.verify(bundle)
+    return time.perf_counter() - t0
+
+
+def _bench_service(jobs) -> float:
+    """Grouped serving: shared artifacts, wire bundles, batch verification."""
+    registry = CircuitRegistry()
+    keystore = KeyStore(registry=registry)
+    service = ProvingService(workers=2, registry=registry, keystore=keystore)
+    t0 = time.perf_counter()
+    for a, n, b, x, w in jobs:
+        service.submit(x, w, backend="groth16")
+    report = service.run(verify=True)
+    elapsed = time.perf_counter() - t0
+    # A failed group would leave results empty and verified vacuously
+    # True — that must fail the bench, not inflate the baseline.
+    assert not report.errors, report.errors
+    assert len(report.results) == len(jobs)
+    assert report.verified
+    return elapsed
+
+
+def run_service_bench(quick: bool = False, repeats: int = 1) -> Dict[str, Dict[str, float]]:
+    rng = random.Random(0xD15C)
+    out: Dict[str, Dict[str, float]] = {}
+    for a, n, b, num_jobs in (QUICK_CASES if quick else FULL_CASES):
+        jobs = [(a, n, b, *rand_mats(rng, a, n, b)) for _ in range(num_jobs)]
+        naive = min(_bench_naive(jobs) for _ in range(repeats))
+        fast = min(_bench_service(jobs) for _ in range(repeats))
+        out[f"{a}x{n}x{b}"] = {
+            "jobs": num_jobs,
+            "fast_ops_per_sec": num_jobs / fast,
+            "naive_ops_per_sec": num_jobs / naive,
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    ap.add_argument("--repeats", type=int, default=1)
+    ap.add_argument("--quick", action="store_true", help="small case only")
+    args = ap.parse_args(argv)
+
+    results = run_service_bench(quick=args.quick, repeats=args.repeats)
+    merge_baseline(args.out, {"service": results})
+
+    print("[service]")
+    for shape, entry in sorted(results.items()):
+        ratio = entry["fast_ops_per_sec"] / entry["naive_ops_per_sec"]
+        print(
+            f"  {shape} x{entry['jobs']:.0f} jobs: "
+            f"service {entry['fast_ops_per_sec']:.2f} proofs/s, "
+            f"sequential {entry['naive_ops_per_sec']:.2f} proofs/s "
+            f"({ratio:.2f}x)"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

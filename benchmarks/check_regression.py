@@ -32,7 +32,7 @@ _GATED_METRICS = ("fast_ops_per_sec", "fixed_base_ops_per_sec")
 
 
 def _paired_metrics(baseline: dict, fresh: dict):
-    for section in ("msm", "sumcheck", "hyrax_commit"):
+    for section in ("msm", "sumcheck", "hyrax_commit", "service"):
         base_sec = baseline.get(section, {})
         fresh_sec = fresh.get(section, {})
         for size, fresh_entry in fresh_sec.items():
@@ -90,6 +90,11 @@ def main(argv=None) -> int:
         "--full", action="store_true",
         help="run the full benchmark sizes instead of the quick subset",
     )
+    ap.add_argument(
+        "--service", action="store_true",
+        help="also re-time the proving-service batch throughput "
+             "(bench_service.py) and gate its baseline entries",
+    )
     args = ap.parse_args(argv)
 
     if not os.path.exists(args.baseline):
@@ -100,6 +105,10 @@ def main(argv=None) -> int:
 
     # Best-of-3 timing: single-shot numbers jitter more than the 25% gate.
     fresh = run_benchmarks(repeats=3, quick=not args.full)
+    if args.service:
+        from bench_service import run_service_bench
+
+        fresh["service"] = run_service_bench(quick=not args.full, repeats=2)
     factor = machine_factor(baseline, fresh)
     if abs(factor - 1.0) > 0.15:
         print(

@@ -1,61 +1,129 @@
-"""Batch verification: amortise the verifier's pairing cost over many
-proofs — relevant for the paper's cloud setting where a client checks one
-proof per inference.
+"""Batched proof serving and detached verification.
 
-Run:  python examples/batch_verification.py
+The cloud setting from the paper: a server proves many matmul instances,
+clients verify them elsewhere.  This example drives the full serving
+stack:
+
+1. a ``ProvingService`` groups same-circuit jobs so trusted setup and the
+   fixed-base MSM tables are paid once for the whole batch;
+2. bundles and the verifier artifact travel as *bytes*;
+3. a detached ``MatmulVerifier`` — rebuilt from those bytes alone, in a
+   separate OS process — accepts them without ever running setup;
+4. same-key Groth16 proofs verify in one small-exponent batch check
+   (k+3 Miller loops instead of 4k), and a corrupted bundle still sinks
+   the batch.
+
+Run:  PYTHONPATH=src python examples/batch_verification.py
 """
 
+import os
 import random
+import subprocess
+import sys
 import time
 
-import repro.groth16 as g16
-from repro.groth16.batch import batch_verify
-from repro.r1cs import LC, ConstraintSystem
-from repro import serialize
+from repro.core import MatmulProofBundle, MatmulVerifier, ProvingService
+from repro.field.prime_field import BN254_FR_MODULUS as R
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 
 
-def square_circuit(x: int) -> ConstraintSystem:
-    cs = ConstraintSystem()
-    xw = cs.alloc_public("x", x)
-    yw = cs.alloc_public("y", x * x)
-    cs.enforce(LC.from_wire(xw), LC.from_wire(xw), LC.from_wire(yw))
-    return cs
+def rand_mats(rng, a, n, b):
+    x = [[rng.randrange(-40, 40) for _ in range(n)] for _ in range(a)]
+    w = [[rng.randrange(-40, 40) for _ in range(b)] for _ in range(n)]
+    return x, w
+
+
+def verify_in_subprocess(artifact: bytes, blobs) -> bool:
+    """Round-trip the artifacts through a fresh Python process."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        art = os.path.join(tmp, "verifier.bin")
+        with open(art, "wb") as fh:
+            fh.write(artifact)
+        paths = []
+        for i, blob in enumerate(blobs):
+            path = os.path.join(tmp, f"bundle{i}.bin")
+            with open(path, "wb") as fh:
+                fh.write(blob)
+            paths.append(path)
+        code = (
+            "import sys\n"
+            "from repro.core import MatmulProofBundle, MatmulVerifier\n"
+            "v = MatmulVerifier.from_bytes(open(sys.argv[1], 'rb').read())\n"
+            "bundles = [MatmulProofBundle.from_bytes(open(p, 'rb').read())\n"
+            "           for p in sys.argv[2:]]\n"
+            "sys.exit(0 if v.verify_batch(bundles) else 1)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", code, art, *paths], env=env
+        )
+        return result.returncode == 0
 
 
 def main() -> None:
     rng = random.Random(0)
-    inst = square_circuit(2).specialize(1)
-    keypair = g16.setup(inst, rng=lambda: rng.getrandbits(256))
-
     k = 5
-    statements, proofs = [], []
+
+    # -- serve a batch of same-circuit Groth16 jobs --------------------------
+    service = ProvingService(workers=2)
     for _ in range(k):
-        x = rng.randrange(1, 1000)
-        cs = square_circuit(x)
-        proof = g16.prove(keypair.pk, inst, cs.assignment())
-        # round-trip through the wire format, as a client would receive it
-        proof = serialize.groth16_proof_from_bytes(
-            serialize.groth16_proof_to_bytes(proof)
-        )
-        statements.append(cs.public_inputs())
-        proofs.append(proof)
+        service.submit(*rand_mats(rng, 2, 4, 2), backend="groth16")
+    report = service.run()
+    assert not report.errors, report.errors
+    assert len(report.results) == k
+    key = next(iter(report.groups))
+    print(
+        f"served {len(report.results)} proofs in {report.wall_seconds:.2f}s "
+        f"({report.proofs_per_second:.1f} proofs/s, "
+        f"setup amortised: {report.setup_seconds:.2f}s once for the batch)"
+    )
+
+    artifact = service.export_verifier(key)
+    blobs = [r.bundle_bytes for r in report.results]
+    print(
+        f"shipping {len(artifact)} B verifier artifact + "
+        f"{sum(map(len, blobs))} B of bundles"
+    )
+
+    # -- detached verification, one by one vs batched ------------------------
+    verifier = MatmulVerifier.from_bytes(artifact)
+    bundles = [MatmulProofBundle.from_bytes(b) for b in blobs]
 
     t0 = time.perf_counter()
-    for s, p in zip(statements, proofs):
-        assert g16.verify(keypair.vk, s, p)
+    assert all(verifier.verify(b) for b in bundles)
     naive = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    assert batch_verify(keypair.vk, statements, proofs)
+    assert verifier.verify_batch(bundles)
     batched = time.perf_counter() - t0
-
     print(f"{k} proofs, one-by-one verification: {naive:.2f}s")
     print(f"{k} proofs, batched verification:    {batched:.2f}s "
           f"({naive / batched:.1f}x faster)")
 
-    statements[2][1] += 1  # corrupt one statement
-    assert not batch_verify(keypair.vk, statements, proofs)
+    # -- the same bytes verify in a different OS process ----------------------
+    assert verify_in_subprocess(artifact, blobs)
+    print("separate-process verification from bytes alone -> OK")
+
+    # -- corruption sinks the batch -------------------------------------------
+    bundles[2].y[0][0] = (bundles[2].y[0][0] + 1) % R
+    assert not verifier.verify_batch(bundles)
     print("corrupted batch rejected -> OK")
+
+    # -- spartan bundles need no key at all -----------------------------------
+    service.submit(*rand_mats(rng, 2, 4, 2), backend="spartan")
+    spartan_report = service.run()
+    assert not spartan_report.errors, spartan_report.errors
+    spartan_key = next(iter(spartan_report.groups))
+    spartan_artifact = service.export_verifier(spartan_key)
+    assert verify_in_subprocess(
+        spartan_artifact, [spartan_report.results[0].bundle_bytes]
+    )
+    print(f"spartan: transparent, {len(spartan_artifact)} B artifact "
+          "(no key), separate-process verification -> OK")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,26 @@
-"""zkVC core: CRPC + PSQ matmul proving API and the hybrid mixer planner."""
+"""zkVC core: CRPC + PSQ matmul proving API, the backend registry, the
+artifact store, the batched proving service, and the hybrid mixer planner."""
 
 from .api import (
     BACKENDS,
     MatmulProofBundle,
     MatmulProver,
+    MatmulVerifier,
     prove_matmul,
     verify_matmul,
+)
+from .artifacts import (
+    CircuitRegistry,
+    KeyStore,
+    default_keystore,
+    default_registry,
+    set_default_keystore,
+)
+from .backends import (
+    ProofBackend,
+    backend_names,
+    get_backend,
+    register_backend,
 )
 from .crpc import (
     ConstraintTheory,
@@ -16,14 +31,26 @@ from .crpc import (
     theory_counts,
 )
 from .psq import LeftWireReport, left_wire_report, prefix_sums, psq_reduction_factor
+from .service import ProveJob, ProvingService, ServiceReport
 
 __all__ = [
     "BACKENDS",
+    "CircuitRegistry",
     "ConstraintTheory",
+    "KeyStore",
     "LeftWireReport",
     "MatmulProofBundle",
     "MatmulProver",
+    "MatmulVerifier",
+    "ProofBackend",
+    "ProveJob",
+    "ProvingService",
+    "ServiceReport",
+    "backend_names",
     "crpc_identity_holds",
+    "default_keystore",
+    "default_registry",
+    "get_backend",
     "left_wire_report",
     "pack_w_row",
     "pack_x_column",
@@ -31,6 +58,8 @@ __all__ = [
     "prefix_sums",
     "prove_matmul",
     "psq_reduction_factor",
+    "register_backend",
+    "set_default_keystore",
     "theory_counts",
     "verify_matmul",
 ]

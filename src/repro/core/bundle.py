@@ -1,0 +1,60 @@
+"""The proof bundle exchanged between provers, verifiers, and the wire.
+
+Kept in its own module so both :mod:`repro.core.backends` (which produces
+bundles) and :mod:`repro.core.api` (which wraps them in the user-facing
+prover/verifier objects) can import it without a cycle, and so
+:mod:`repro.serialize` can lazily reach the dataclass for the wire codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..field.prime_field import BN254_FR_MODULUS
+
+R = BN254_FR_MODULUS
+
+
+def matrix_bytes(mat: Sequence[Sequence[int]]) -> bytes:
+    """Canonical big-endian encoding of a matrix of field values, used for
+    commitments and Fiat-Shamir bindings."""
+    return b"".join(
+        (int(v) % R).to_bytes(32, "big") for row in mat for v in row
+    )
+
+
+@dataclass
+class MatmulProofBundle:
+    """Everything a verifier needs, plus measured timings for benchmarks.
+
+    ``timings`` are local measurements and are *not* part of the wire
+    format — a bundle deserialised on the far side starts with an empty
+    timing dict.
+    """
+
+    backend: str
+    strategy: str
+    shape: Tuple[int, int, int]
+    y: List[List[int]]            # claimed product, field values
+    proof: object
+    z: int                        # CRPC packing point used
+    commitment: bytes             # input commitment (spartan flow)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def proof_size_bytes(self) -> int:
+        return self.proof.size_bytes()
+
+    def public_inputs(self) -> List[int]:
+        return [v for row in self.y for v in row]
+
+    def to_bytes(self) -> bytes:
+        from .. import serialize
+
+        return serialize.matmul_bundle_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MatmulProofBundle":
+        from .. import serialize
+
+        return serialize.matmul_bundle_from_bytes(data)

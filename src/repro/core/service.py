@@ -1,0 +1,277 @@
+"""Batched proof serving.
+
+A :class:`ProvingService` accepts prove jobs (concrete ``X @ W`` instances
+tagged with strategy/backend), groups them by circuit key so each group
+pays trusted setup, circuit construction, and fixed-base table warm-up
+exactly once, executes groups on a worker pool, and hands back wire-format
+bundles plus throughput statistics.  Verification of a served batch goes
+through the detached :class:`~repro.core.api.MatmulVerifier`; same-key
+Groth16 bundles use the small-exponent batch check.
+
+This is the layer the ROADMAP's scaling PRs (sharding, async dispatch,
+remote workers) build on: jobs are already data, results are already
+bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gadgets.matmul import STRATEGIES
+from .api import MatmulProver, MatmulVerifier
+from .artifacts import CircuitRegistry, KeyStore, default_keystore, default_registry
+from .backends import get_backend
+from .bundle import MatmulProofBundle
+
+CircuitKeyT = Tuple[int, int, int, str, str]  # (a, n, b, strategy, backend)
+
+
+@dataclass
+class ProveJob:
+    """One matmul instance awaiting proof."""
+
+    job_id: int
+    x: list
+    w: list
+    strategy: str = "crpc_psq"
+    backend: str = "groth16"
+
+    def circuit_key(self) -> CircuitKeyT:
+        if not self.x or not self.x[0] or not self.w or not self.w[0]:
+            raise ValueError(f"job {self.job_id}: empty matrix")
+        a, n, b = len(self.x), len(self.x[0]), len(self.w[0])
+        if len(self.w) != n:
+            raise ValueError(f"job {self.job_id}: inner dimensions mismatch")
+        if any(len(row) != n for row in self.x) or any(
+            len(row) != b for row in self.w
+        ):
+            raise ValueError(f"job {self.job_id}: ragged matrix")
+        return (a, n, b, self.strategy, self.backend)
+
+
+@dataclass
+class JobResult:
+    """A served proof: the bundle both live and as wire bytes."""
+
+    job_id: int
+    circuit_key: CircuitKeyT
+    bundle: MatmulProofBundle
+    bundle_bytes: bytes
+    prove_seconds: float
+
+
+@dataclass
+class ServiceReport:
+    """What one :meth:`ProvingService.run` drained, and how fast."""
+
+    results: List[JobResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    setup_seconds: float = 0.0
+    groups: Dict[CircuitKeyT, int] = field(default_factory=dict)
+    #: circuit groups whose proving raised, with the error message; their
+    #: jobs produced no results but never take down the other groups
+    errors: Dict[CircuitKeyT, str] = field(default_factory=dict)
+    #: jobs rejected before grouping (malformed shapes), by job id
+    invalid_jobs: Dict[int, str] = field(default_factory=dict)
+    #: True only if *every* job produced a bundle and every bundle
+    #: verified — a batch with errors or invalid jobs is never "verified"
+    verified: Optional[bool] = None
+
+    @property
+    def proofs_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.results) / self.wall_seconds
+
+    def bundles(self) -> List[MatmulProofBundle]:
+        return [r.bundle for r in self.results]
+
+
+class ProvingService:
+    """Groups prove jobs by circuit and serves them through shared
+    artifacts.
+
+    ``workers`` bounds the thread pool over *groups* — a circuit's witness
+    assignment is stateful, so jobs within a group run sequentially while
+    distinct circuits may overlap.  Pure-Python proving is GIL-bound; the
+    pool mainly overlaps waiting and keeps the structure ready for
+    process-level workers.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        registry: Optional[CircuitRegistry] = None,
+        keystore: Optional[KeyStore] = None,
+        rng=None,
+    ):
+        self.workers = max(1, workers)
+        self.registry = registry if registry is not None else default_registry()
+        self.keystore = keystore if keystore is not None else default_keystore()
+        self._rng = rng
+        self._queue: List[ProveJob] = []
+        self._next_id = 0
+        self._provers: Dict[CircuitKeyT, MatmulProver] = {}
+
+    # -- job intake --------------------------------------------------------------
+    def submit(
+        self,
+        x,
+        w,
+        strategy: str = "crpc_psq",
+        backend: str = "groth16",
+    ) -> int:
+        """Queue one instance; returns its job id.
+
+        Shape, strategy, and backend are validated here so a bad job is
+        rejected at intake instead of failing a whole batch in a worker."""
+        get_backend(backend)  # raises ValueError on unknown name
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        job = ProveJob(
+            job_id=self._next_id, x=x, w=w, strategy=strategy, backend=backend
+        )
+        job.circuit_key()  # validate shape early
+        self._next_id += 1
+        self._queue.append(job)
+        return job.job_id
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -- execution ---------------------------------------------------------------
+    def _prover_for(self, key: CircuitKeyT) -> MatmulProver:
+        prover = self._provers.get(key)
+        if prover is None:
+            a, n, b, strategy, backend = key
+            prover = MatmulProver(
+                a,
+                n,
+                b,
+                strategy=strategy,
+                backend=backend,
+                rng=self._rng,
+                registry=self.registry,
+                keystore=self.keystore,
+            )
+            self._provers[key] = prover
+        return prover
+
+    def _serve_group_safe(self, key: CircuitKeyT, jobs: Sequence[ProveJob]):
+        """One group's results, or its error — a poisoned group (e.g.
+        non-integer matrix entries that pass shape checks) must not lose
+        every other group's finished proofs."""
+        try:
+            return key, self._serve_group(key, jobs), None
+        except Exception as exc:  # noqa: BLE001 — reported, not swallowed
+            return key, [], f"{type(exc).__name__}: {exc}"
+
+    def _serve_group(
+        self, key: CircuitKeyT, jobs: Sequence[ProveJob]
+    ) -> List[JobResult]:
+        prover = self._prover_for(key)
+        # Pay setup / circuit warm-up before the per-job timers start, so
+        # the first job's prove_seconds is not a setup-sized outlier
+        # (setup cost is reported once in ServiceReport.setup_seconds).
+        prover._artifacts()
+        results = []
+        for job in jobs:
+            t0 = time.perf_counter()
+            bundle = prover.prove(job.x, job.w)
+            results.append(
+                JobResult(
+                    job_id=job.job_id,
+                    circuit_key=key,
+                    bundle=bundle,
+                    bundle_bytes=bundle.to_bytes(),
+                    prove_seconds=time.perf_counter() - t0,
+                )
+            )
+        return results
+
+    def run(self, verify: bool = False) -> ServiceReport:
+        """Drain the queue: group, prove, serialize — and optionally check
+        every served bundle through detached verifiers before returning."""
+        jobs, self._queue = self._queue, []
+        return self.prove_batch(jobs, verify=verify)
+
+    def prove_batch(
+        self, jobs: Sequence[ProveJob], verify: bool = False
+    ) -> ServiceReport:
+        t0 = time.perf_counter()
+        groups: Dict[CircuitKeyT, List[ProveJob]] = {}
+        invalid: Dict[int, str] = {}
+        for job in jobs:
+            # A malformed job (possible when callers build ProveJob
+            # directly, or mutate matrices after submit) is reported, not
+            # allowed to sink the whole batch.
+            try:
+                key = job.circuit_key()
+            except ValueError as exc:
+                invalid[job.job_id] = str(exc)
+                continue
+            groups.setdefault(key, []).append(job)
+        # Setup cost already paid in earlier batches is amortised, not
+        # re-billed: only setups that run during *this* batch count.
+        already_setup = {
+            key for key in groups if self.keystore.setup_seconds(*key) is not None
+        }
+
+        report = ServiceReport(
+            groups={k: len(v) for k, v in groups.items()},
+            invalid_jobs=invalid,
+        )
+        if groups:
+            if self.workers == 1 or len(groups) == 1:
+                outcomes = [self._serve_group_safe(k, v) for k, v in groups.items()]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(groups))
+                ) as pool:
+                    outcomes = list(
+                        pool.map(
+                            lambda kv: self._serve_group_safe(*kv),
+                            groups.items(),
+                        )
+                    )
+            for key, batch, error in outcomes:
+                report.results.extend(batch)
+                if error is not None:
+                    report.errors[key] = error
+        report.results.sort(key=lambda r: r.job_id)
+        report.setup_seconds = sum(
+            s
+            for key in groups
+            if key not in already_setup
+            and (s := self.keystore.setup_seconds(*key)) is not None
+        )
+        report.wall_seconds = time.perf_counter() - t0
+        if verify:
+            report.verified = (
+                not report.errors
+                and not report.invalid_jobs
+                and self.verify_report(report)
+            )
+        return report
+
+    # -- verification -------------------------------------------------------------
+    def verify_report(self, report: ServiceReport) -> bool:
+        """Detached-verify every bundle in a report, batching per group."""
+        by_key: Dict[CircuitKeyT, List[MatmulProofBundle]] = {}
+        for r in report.results:
+            by_key.setdefault(r.circuit_key, []).append(r.bundle)
+        for key, bundles in by_key.items():
+            if not self.verifier_for(key).verify_batch(bundles):
+                return False
+        return True
+
+    def verifier_for(self, key: CircuitKeyT) -> MatmulVerifier:
+        return self._prover_for(key).verifier()
+
+    def export_verifier(self, key: CircuitKeyT) -> bytes:
+        """Wire-format verifier artifact for one served circuit."""
+        return self._prover_for(key).export_verifier()

@@ -95,22 +95,47 @@ class MatmulCircuit:
     def packing_point(self, extra: bytes = b"") -> int:
         return derive_z(self.circuit_id() + extra)
 
-    def assign(self, x_mat, w_mat, z: Optional[int] = None) -> List[List[int]]:
+    def product(self, x_mat, w_mat) -> List[List[int]]:
+        """The O(a*n*b) product ``Y = X @ W`` as field values.
+
+        Callers that need Y *before* assigning witnesses (the Spartan
+        commit-then-prove flow derives the packing point from it) compute
+        it here once and pass it back to :meth:`assign` so the work is not
+        repeated.
+        """
+        return self._product_rows(
+            _as_rows(x_mat, self.a, self.n), _as_rows(w_mat, self.n, self.b)
+        )
+
+    def _product_rows(self, x, w) -> List[List[int]]:
+        a, n, b = self.a, self.n, self.b
+        return [
+            [sum(x[i][k] * w[k][j] for k in range(n)) % R for j in range(b)]
+            for i in range(a)
+        ]
+
+    def assign(
+        self,
+        x_mat,
+        w_mat,
+        z: Optional[int] = None,
+        y: Optional[List[List[int]]] = None,
+    ) -> List[List[int]]:
         """Fill every wire value from concrete matrices.
 
         Returns the product ``Y`` as field values.  ``z`` is required for
         packed strategies whose accumulator wires depend on the packing
-        point; defaults to :meth:`packing_point`.
+        point; defaults to :meth:`packing_point`.  ``y`` may carry a
+        precomputed :meth:`product` result; a wrong value only yields an
+        unsatisfiable assignment (the constraints still bind Y to X @ W).
         """
         if z is None:
             z = self.packing_point()
         a, n, b = self.a, self.n, self.b
         x = _as_rows(x_mat, a, n)
         w = _as_rows(w_mat, n, b)
-        y = [
-            [sum(x[i][k] * w[k][j] for k in range(n)) % R for j in range(b)]
-            for i in range(a)
-        ]
+        if y is None:
+            y = self._product_rows(x, w)
         cs = self.cs
         for i in range(a):
             for k in range(n):

@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 from .curve.bn254 import AffinePoint, is_on_curve
 from .field.extension import Fq2
 from .field.prime_field import BN254_FQ_MODULUS, BN254_FR_MODULUS
-from .groth16.keys import Proof
+from .groth16.keys import Groth16Keypair, Proof, ProvingKey, VerifyingKey
 from .spartan.commitment import HyraxCommitment, HyraxOpening
 from .spartan.snark import SpartanProof
 from .spartan.sumcheck import SumcheckProof
@@ -99,6 +99,29 @@ def _pack_scalars(values) -> bytes:
     )
 
 
+def _pack_bytes(data: bytes) -> bytes:
+    return struct.pack(">I", len(data)) + data
+
+
+def _utf8(data: bytes) -> str:
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError:
+        raise SerializationError("malformed UTF-8 name field") from None
+
+
+def _pack_g1s(points) -> bytes:
+    return struct.pack(">I", len(points)) + b"".join(
+        g1_to_bytes(p) for p in points
+    )
+
+
+def _pack_g2s(points) -> bytes:
+    return struct.pack(">I", len(points)) + b"".join(
+        g2_to_bytes(p) for p in points
+    )
+
+
 class _Reader:
     def __init__(self, data: bytes):
         self.data = data
@@ -116,6 +139,15 @@ class _Reader:
 
     def scalars(self) -> List[int]:
         return [scalar_from_bytes(self.take(32)) for _ in range(self.u32())]
+
+    def blob(self) -> bytes:
+        return self.take(self.u32())
+
+    def g1s(self) -> List[AffinePoint]:
+        return [g1_from_bytes(self.take(64)) for _ in range(self.u32())]
+
+    def g2s(self) -> list:
+        return [g2_from_bytes(self.take(128)) for _ in range(self.u32())]
 
     def done(self) -> None:
         if self.pos != len(self.data):
@@ -169,9 +201,21 @@ def spartan_proof_to_bytes(proof: SpartanProof) -> bytes:
     return out
 
 
+# Hyrax shape header sanity bound: 2^40 table entries is far beyond any
+# circuit this stack can prove, and the cap keeps hostile headers from
+# forcing huge generator-table allocations in the verifier.
+_MAX_HYRAX_VARS = 40
+
+
 def spartan_proof_from_bytes(data: bytes) -> SpartanProof:
     r = _Reader(data)
     n_rows, num_vars, row_vars = struct.unpack(">III", r.take(12))
+    if num_vars > _MAX_HYRAX_VARS or row_vars > num_vars:
+        raise SerializationError("implausible hyrax shape header")
+    if n_rows != 1 << row_vars:
+        # hyrax_verify MSMs row_commits against a 2^row_vars eq-table; a
+        # mismatched count must be rejected here, not crash the verifier.
+        raise SerializationError("row commitment count mismatch")
     commits = [g1_from_bytes(r.take(64)) for _ in range(n_rows)]
     commitment = HyraxCommitment(
         row_commits=commits,
@@ -185,6 +229,8 @@ def spartan_proof_from_bytes(data: bytes) -> SpartanProof:
     vc = scalar_from_bytes(r.take(32))
     sc2 = _sumcheck_from_reader(r)
     t = r.scalars()
+    if len(t) != 1 << commitment.col_vars:
+        raise SerializationError("opening row length mismatch")
     blinder = scalar_from_bytes(r.take(32))
     value = scalar_from_bytes(r.take(32))
     r.done()
@@ -197,3 +243,198 @@ def spartan_proof_from_bytes(data: bytes) -> SpartanProof:
         sumcheck2=sc2,
         opening=HyraxOpening(t=t, blinder=blinder, value=value),
     )
+
+
+# -- Groth16 keys ---------------------------------------------------------------
+#
+# Absent query entries (wire polynomials that evaluate to zero on a side)
+# are carried as the all-zero point encoding, which the G1/G2 primitives
+# already map to/from ``None``.
+
+def groth16_vk_to_bytes(vk: VerifyingKey) -> bytes:
+    return (
+        g1_to_bytes(vk.alpha_g1)
+        + g2_to_bytes(vk.beta_g2)
+        + g2_to_bytes(vk.gamma_g2)
+        + g2_to_bytes(vk.delta_g2)
+        + _pack_g1s(vk.ic)
+    )
+
+
+def groth16_vk_from_bytes(data: bytes) -> VerifyingKey:
+    r = _Reader(data)
+    vk = _groth16_vk_from_reader(r)
+    r.done()
+    return vk
+
+
+def _groth16_vk_from_reader(r: "_Reader") -> VerifyingKey:
+    alpha_g1 = g1_from_bytes(r.take(64))
+    beta_g2 = g2_from_bytes(r.take(128))
+    gamma_g2 = g2_from_bytes(r.take(128))
+    delta_g2 = g2_from_bytes(r.take(128))
+    ic = r.g1s()
+    if alpha_g1 is None or beta_g2 is None or gamma_g2 is None or delta_g2 is None:
+        raise SerializationError("verifying key element at infinity")
+    if not ic:
+        # IC entries themselves may be infinity (zero wire polynomials),
+        # but the statement accumulator needs at least IC_0.
+        raise SerializationError("empty IC query")
+    return VerifyingKey(
+        alpha_g1=alpha_g1,
+        beta_g2=beta_g2,
+        gamma_g2=gamma_g2,
+        delta_g2=delta_g2,
+        ic=ic,
+    )
+
+
+def groth16_pk_to_bytes(pk: ProvingKey) -> bytes:
+    return (
+        g1_to_bytes(pk.alpha_g1)
+        + g1_to_bytes(pk.beta_g1)
+        + g2_to_bytes(pk.beta_g2)
+        + g1_to_bytes(pk.delta_g1)
+        + g2_to_bytes(pk.delta_g2)
+        + struct.pack(">II", pk.num_public, pk.domain_size)
+        + _pack_g1s(pk.a_query)
+        + _pack_g1s(pk.b_g1_query)
+        + _pack_g2s(pk.b_g2_query)
+        + _pack_g1s(pk.k_query)
+        + _pack_g1s(pk.h_query)
+    )
+
+
+def groth16_pk_from_bytes(data: bytes) -> ProvingKey:
+    r = _Reader(data)
+    pk = _groth16_pk_from_reader(r)
+    r.done()
+    return pk
+
+
+def _groth16_pk_from_reader(r: "_Reader") -> ProvingKey:
+    alpha_g1 = g1_from_bytes(r.take(64))
+    beta_g1 = g1_from_bytes(r.take(64))
+    beta_g2 = g2_from_bytes(r.take(128))
+    delta_g1 = g1_from_bytes(r.take(64))
+    delta_g2 = g2_from_bytes(r.take(128))
+    if any(p is None for p in (alpha_g1, beta_g1, beta_g2, delta_g1, delta_g2)):
+        # Query entries may be infinity (absent wires); CRS elements not.
+        raise SerializationError("proving key element at infinity")
+    num_public, domain_size = struct.unpack(">II", r.take(8))
+    return ProvingKey(
+        alpha_g1=alpha_g1,
+        beta_g1=beta_g1,
+        beta_g2=beta_g2,
+        delta_g1=delta_g1,
+        delta_g2=delta_g2,
+        a_query=r.g1s(),
+        b_g1_query=r.g1s(),
+        b_g2_query=r.g2s(),
+        k_query=r.g1s(),
+        h_query=r.g1s(),
+        num_public=num_public,
+        domain_size=domain_size,
+    )
+
+
+def groth16_keypair_to_bytes(keypair: Groth16Keypair) -> bytes:
+    return _pack_bytes(groth16_pk_to_bytes(keypair.pk)) + groth16_vk_to_bytes(
+        keypair.vk
+    )
+
+
+def groth16_keypair_from_bytes(data: bytes) -> Groth16Keypair:
+    r = _Reader(data)
+    pk_blob = r.blob()
+    vk = _groth16_vk_from_reader(r)
+    r.done()
+    return Groth16Keypair(pk=groth16_pk_from_bytes(pk_blob), vk=vk)
+
+
+# -- matmul proof bundles --------------------------------------------------------
+#
+# The bundle codec dispatches the inner proof encoding through the backend
+# registry (``repro.core.backends``), imported lazily to keep this module
+# free of circular imports.  Timings are local measurements and are not
+# part of the wire format.
+
+def matmul_bundle_to_bytes(bundle) -> bytes:
+    from .core.backends import get_backend
+
+    backend = get_backend(bundle.backend)
+    a, n, b = bundle.shape
+    out = _pack_bytes(bundle.backend.encode())
+    out += _pack_bytes(bundle.strategy.encode())
+    out += struct.pack(">III", a, n, b)
+    out += b"".join(
+        scalar_to_bytes(v) for row in bundle.y for v in row
+    )
+    out += scalar_to_bytes(bundle.z)
+    out += _pack_bytes(bundle.commitment)
+    out += _pack_bytes(backend.proof_to_bytes(bundle.proof))
+    return out
+
+
+def matmul_bundle_from_bytes(data: bytes):
+    from .core.backends import get_backend
+    from .core.bundle import MatmulProofBundle
+
+    r = _Reader(data)
+    backend_name = _utf8(r.blob())
+    try:
+        backend = get_backend(backend_name)
+    except ValueError as exc:
+        raise SerializationError(str(exc)) from None
+    strategy = _utf8(r.blob())
+    a, n, b = struct.unpack(">III", r.take(12))
+    if min(a, n, b) < 1:
+        raise SerializationError("matrix dimensions must be positive")
+    if a * b * 32 > len(r.data) - r.pos:
+        # Bound the Y allocation by the bytes actually present, so a tiny
+        # blob with a huge shape header cannot force gigabyte loops.
+        raise SerializationError("shape header exceeds payload")
+    y = [
+        [scalar_from_bytes(r.take(32)) for _ in range(b)] for _ in range(a)
+    ]
+    z = scalar_from_bytes(r.take(32))
+    commitment = r.blob()
+    proof = backend.proof_from_bytes(r.blob())
+    r.done()
+    return MatmulProofBundle(
+        backend=backend_name,
+        strategy=strategy,
+        shape=(a, n, b),
+        y=y,
+        proof=proof,
+        z=z,
+        commitment=commitment,
+    )
+
+
+# -- detached verifier artifacts -------------------------------------------------
+
+def verifier_artifact_to_bytes(
+    backend: str, strategy: str, shape: Tuple[int, int, int], vk_bytes: bytes = b""
+) -> bytes:
+    """Everything a detached verifier needs: the public circuit identity
+    (backend, strategy, shape) plus the backend's verification material."""
+    a, n, b = shape
+    return (
+        _pack_bytes(backend.encode())
+        + _pack_bytes(strategy.encode())
+        + struct.pack(">III", a, n, b)
+        + _pack_bytes(vk_bytes)
+    )
+
+
+def verifier_artifact_from_bytes(
+    data: bytes,
+) -> Tuple[str, str, Tuple[int, int, int], bytes]:
+    r = _Reader(data)
+    backend = _utf8(r.blob())
+    strategy = _utf8(r.blob())
+    a, n, b = struct.unpack(">III", r.take(12))
+    vk_bytes = r.blob()
+    r.done()
+    return backend, strategy, (a, n, b), vk_bytes

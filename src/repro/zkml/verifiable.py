@@ -19,7 +19,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.api import MatmulProofBundle, MatmulProver
+from ..core.api import MatmulProofBundle, MatmulProver, MatmulVerifier
+from ..core.artifacts import (
+    CircuitRegistry,
+    KeyStore,
+    default_keystore,
+    default_registry,
+)
 from ..field.prime_field import BN254_FR_MODULUS
 from .quantized import QuantizedTransformer
 
@@ -56,18 +62,31 @@ class VerifiableInference:
         strategy: str = "crpc_psq",
         backend: str = "groth16",
         max_layers: Optional[int] = None,
+        registry: Optional[CircuitRegistry] = None,
+        keystore: Optional[KeyStore] = None,
     ):
         self.qmodel = qmodel
         self.strategy = strategy
         self.backend = backend
         self.max_layers = max_layers
+        # Circuits and keypairs live in the shared artifact store, so
+        # proofs from one instance verify on any other (and, with a
+        # disk-backed KeyStore, across restarts).
+        self._registry = registry if registry is not None else default_registry()
+        self._keystore = keystore if keystore is not None else default_keystore()
         self._provers: Dict[Tuple[int, int, int], MatmulProver] = {}
 
     def _prover_for(self, a: int, n: int, b: int) -> MatmulProver:
         key = (a, n, b)
         if key not in self._provers:
             self._provers[key] = MatmulProver(
-                a, n, b, strategy=self.strategy, backend=self.backend
+                a,
+                n,
+                b,
+                strategy=self.strategy,
+                backend=self.backend,
+                registry=self._registry,
+                keystore=self._keystore,
             )
         return self._provers[key]
 
@@ -113,10 +132,59 @@ class VerifiableInference:
             prove_time_s=time.perf_counter() - t0,
         )
 
+    def _verifier_for(
+        self, shape: Tuple[int, int, int], strategy: str, backend: str
+    ) -> MatmulVerifier:
+        """Detached verifier for one layer circuit — never runs setup.
+
+        Raises ``KeyError`` if a Groth16 verifying key for the circuit is
+        in neither memory nor the keystore's disk root; a freshly-generated
+        key could never accept the proof anyway (the seed code did exactly
+        that and silently rejected every cross-instance proof).
+        """
+        a, n, b = shape
+        return MatmulVerifier.for_circuit(
+            a,
+            n,
+            b,
+            strategy=strategy,
+            backend=backend,
+            keystore=self._keystore,
+            registry=self._registry,
+        )
+
     def verify(self, proof: InferenceProof) -> bool:
+        """Check every layer proof with detached verifiers.
+
+        Same-circuit Groth16 layers share a verifying key, so each group
+        goes through the small-exponent batch check instead of per-proof
+        pairings.  Bundle metadata is untrusted: a bundle claiming a
+        strategy/backend other than this instance's configuration, or a
+        circuit this keystore holds no key for, is simply not verifiable
+        — ``False``, never an exception.
+        """
+        grouped: Dict[Tuple[int, int, int], List[MatmulProofBundle]] = {}
         for lp in proof.layer_proofs:
-            a, n, b = lp.bundle.shape
-            prover = self._prover_for(a, n, b)
-            if not prover.verify(lp.bundle):
+            bundle = lp.bundle
+            if (
+                bundle.strategy != self.strategy
+                or bundle.backend != self.backend
+            ):
+                return False
+            grouped.setdefault(tuple(bundle.shape), []).append(bundle)
+        for shape, bundles in grouped.items():
+            try:
+                verifier = self._verifier_for(shape, self.strategy, self.backend)
+            except (KeyError, ValueError):
+                return False
+            if not verifier.verify_batch(bundles):
                 return False
         return True
+
+    def export_verifiers(self) -> Dict[Tuple[int, int, int], bytes]:
+        """Wire-format verifier artifacts for every proven layer circuit,
+        ready to ship to a remote client."""
+        return {
+            key: prover.export_verifier()
+            for key, prover in self._provers.items()
+        }

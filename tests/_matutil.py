@@ -1,0 +1,11 @@
+"""Shared helper for the serving-stack tests."""
+
+import random
+
+
+def rand_mats(a: int, n: int, b: int, seed: int = 0):
+    """Random signed matmul operands."""
+    r = random.Random(seed)
+    x = [[r.randrange(-40, 40) for _ in range(n)] for _ in range(a)]
+    w = [[r.randrange(-40, 40) for _ in range(b)] for _ in range(n)]
+    return x, w

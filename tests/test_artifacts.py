@@ -1,0 +1,172 @@
+"""Artifact store: circuit/keypair caching, disk persistence, and the key
+wire formats that make Groth16 proofs survive a process restart."""
+
+import pytest
+from _matutil import rand_mats
+
+from repro import serialize as ser
+from repro.core import MatmulProver, MatmulVerifier
+from repro.core.artifacts import CircuitRegistry, KeyStore
+from repro.core.backends import get_backend
+
+
+@pytest.fixture
+def stores(tmp_path):
+    registry = CircuitRegistry()
+    keystore = KeyStore(root=str(tmp_path), registry=registry)
+    return registry, keystore
+
+
+class TestCircuitRegistry:
+    def test_cache_hit_returns_same_circuit(self):
+        reg = CircuitRegistry()
+        c1 = reg.get(2, 3, 2, "crpc_psq")
+        c2 = reg.get(2, 3, 2, "crpc_psq")
+        assert c1 is c2
+        assert reg.builds == 1
+        assert reg.hits == 1
+
+    def test_distinct_keys_distinct_circuits(self):
+        reg = CircuitRegistry()
+        assert reg.get(2, 3, 2, "crpc_psq") is not reg.get(2, 3, 2, "vanilla")
+        assert reg.get(2, 3, 2, "crpc_psq") is not reg.get(2, 4, 2, "crpc_psq")
+
+
+class TestKeyStoreCaching:
+    def test_one_setup_across_provers(self, stores):
+        registry, keystore = stores
+        x, w = rand_mats(2, 3, 2, seed=1)
+        provers = [
+            MatmulProver(
+                2, 3, 2, backend="groth16", registry=registry, keystore=keystore
+            )
+            for _ in range(3)
+        ]
+        bundles = [p.prove(x, w) for p in provers]
+        assert keystore.setups == 1
+        # Every prover verifies every other prover's bundle: one keypair.
+        for p in provers:
+            for b in bundles:
+                assert p.verify(b)
+
+    def test_create_false_never_fabricates_keys(self, stores):
+        registry, keystore = stores
+        with pytest.raises(KeyError):
+            keystore.artifacts(2, 3, 2, "crpc_psq", "groth16", create=False)
+        assert keystore.setups == 0
+
+    def test_spartan_needs_no_artifacts(self, stores):
+        registry, keystore = stores
+        assert keystore.artifacts(2, 3, 2, "crpc_psq", "spartan") is None
+        assert keystore.setups == 0
+
+
+class TestKeyStoreDisk:
+    def test_restart_restores_keypair_and_verifies_old_proof(self, stores):
+        registry, keystore = stores
+        x, w = rand_mats(2, 3, 2, seed=2)
+        prover = MatmulProver(
+            2, 3, 2, backend="groth16", registry=registry, keystore=keystore
+        )
+        bundle = prover.prove(x, w)
+        blob = bundle.to_bytes()
+
+        keystore.clear_memory()  # "restart": memory gone, disk survives
+        restored = keystore.artifacts(2, 3, 2, "crpc_psq", "groth16")
+        assert keystore.disk_loads == 1
+        assert keystore.setups == 1  # no second setup ran
+
+        backend = get_backend("groth16")
+        verifier = MatmulVerifier(
+            2, 3, 2, backend="groth16", vk=restored.keypair.vk, registry=registry
+        )
+        assert verifier.verify_bytes(blob)
+        # and the restored *proving* key proves new instances too
+        bundle2 = prover.prove(*rand_mats(2, 3, 2, seed=3))
+        assert verifier.verify(bundle2)
+        assert backend.export_vk(restored)  # exportable after restore
+
+    def test_corrupt_keys_file_recovered_by_fresh_setup(self, tmp_path):
+        reg1 = CircuitRegistry()
+        ks1 = KeyStore(root=str(tmp_path), registry=reg1)
+        ks1.artifacts(2, 2, 2, "crpc_psq", "groth16")
+        (keys_file,) = tmp_path.iterdir()
+        keys_file.write_bytes(b"garbage")
+
+        reg2 = CircuitRegistry()
+        ks2 = KeyStore(root=str(tmp_path), registry=reg2)
+        art = ks2.artifacts(2, 2, 2, "crpc_psq", "groth16")
+        assert art is not None
+        assert ks2.setups == 1  # re-ran setup instead of failing forever
+        # and the repaired file loads cleanly next time
+        ks2.clear_memory()
+        ks2.artifacts(2, 2, 2, "crpc_psq", "groth16")
+        assert ks2.disk_loads == 1
+
+    def test_lost_setup_race_adopts_winner(self, tmp_path):
+        """If another process published first, _publish must adopt the
+        on-disk keypair instead of keeping a divergent one."""
+        reg1 = CircuitRegistry()
+        ks1 = KeyStore(root=str(tmp_path), registry=reg1)
+        winner = ks1.artifacts(2, 2, 2, "crpc_psq", "groth16")
+
+        backend = get_backend("groth16")
+        reg2 = CircuitRegistry()
+        ks2 = KeyStore(root=str(tmp_path), registry=reg2)
+        circuit = reg2.get(2, 2, 2, "crpc_psq")
+        loser = backend.setup(circuit)  # a racing setup that lost
+        adopted = ks2._publish(
+            backend, circuit, loser, backend.artifacts_to_bytes(loser)
+        )
+        assert adopted is not loser
+        assert ser.groth16_vk_to_bytes(adopted.keypair.vk) == ser.groth16_vk_to_bytes(
+            winner.keypair.vk
+        )
+
+    def test_fresh_store_on_same_root_loads_same_key(self, tmp_path):
+        reg1 = CircuitRegistry()
+        ks1 = KeyStore(root=str(tmp_path), registry=reg1)
+        ks1.artifacts(2, 2, 2, "crpc_psq", "groth16")
+        vk1 = ks1.export_vk(2, 2, 2, "crpc_psq", "groth16")
+
+        reg2 = CircuitRegistry()
+        ks2 = KeyStore(root=str(tmp_path), registry=reg2)
+        vk2 = ks2.export_vk(2, 2, 2, "crpc_psq", "groth16")
+        assert ks2.setups == 0
+        assert ks2.disk_loads == 1
+        assert vk1 == vk2
+
+
+class TestKeyWireFormats:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        registry = CircuitRegistry()
+        keystore = KeyStore(registry=registry)
+        return keystore.artifacts(2, 2, 2, "crpc_psq", "groth16").keypair
+
+    def test_vk_roundtrip(self, keypair):
+        blob = ser.groth16_vk_to_bytes(keypair.vk)
+        back = ser.groth16_vk_from_bytes(blob)
+        assert ser.groth16_vk_to_bytes(back) == blob
+
+    def test_pk_roundtrip(self, keypair):
+        blob = ser.groth16_pk_to_bytes(keypair.pk)
+        back = ser.groth16_pk_from_bytes(blob)
+        assert ser.groth16_pk_to_bytes(back) == blob
+        assert back.num_public == keypair.pk.num_public
+        assert back.domain_size == keypair.pk.domain_size
+
+    def test_keypair_roundtrip(self, keypair):
+        blob = ser.groth16_keypair_to_bytes(keypair)
+        back = ser.groth16_keypair_from_bytes(blob)
+        assert ser.groth16_keypair_to_bytes(back) == blob
+
+    def test_truncated_rejected(self, keypair):
+        blob = ser.groth16_vk_to_bytes(keypair.vk)
+        with pytest.raises(ser.SerializationError):
+            ser.groth16_vk_from_bytes(blob[:-3])
+
+    def test_trailing_rejected(self, keypair):
+        blob = ser.groth16_keypair_to_bytes(keypair)
+        with pytest.raises(ser.SerializationError):
+            ser.groth16_keypair_from_bytes(blob + b"\x00")

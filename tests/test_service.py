@@ -1,0 +1,363 @@
+"""Proving service and detached verification.
+
+Covers the serving-stack contract: bundles and verifier artifacts are
+plain bytes that reconstruct a working ``MatmulVerifier`` in a fresh
+in-process state *and* in a separate OS process, and the service amortises
+setup across same-circuit jobs.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from _matutil import rand_mats
+
+from repro.core import (
+    MatmulProofBundle,
+    MatmulProver,
+    MatmulVerifier,
+    ProvingService,
+)
+from repro.core.artifacts import CircuitRegistry, KeyStore
+from repro.field.prime_field import BN254_FR_MODULUS
+
+R = BN254_FR_MODULUS
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def fresh_stores(tmp_path=None):
+    registry = CircuitRegistry()
+    root = str(tmp_path) if tmp_path is not None else None
+    return registry, KeyStore(root=root, registry=registry)
+
+
+@pytest.mark.parametrize("backend", ["groth16", "spartan"])
+class TestDetachedVerification:
+    @pytest.fixture
+    def proved(self, backend):
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 3, 2, backend=backend, registry=registry, keystore=keystore
+        )
+        bundle = prover.prove(*rand_mats(2, 3, 2, seed=4))
+        return prover.export_verifier(), bundle.to_bytes()
+
+    def _fresh_verifier(self, artifact):
+        # A brand-new registry: nothing shared with the proving side
+        # except the bytes.
+        return MatmulVerifier.from_bytes(artifact, registry=CircuitRegistry())
+
+    def test_accepts_valid_bundle(self, backend, proved):
+        artifact, blob = proved
+        assert self._fresh_verifier(artifact).verify_bytes(blob)
+
+    def test_rejects_tampered_y(self, backend, proved):
+        artifact, blob = proved
+        bundle = MatmulProofBundle.from_bytes(blob)
+        bundle.y[0][0] = (bundle.y[0][0] + 1) % R
+        assert not self._fresh_verifier(artifact).verify(bundle)
+
+    def test_rejects_tampered_z(self, backend, proved):
+        artifact, blob = proved
+        bundle = MatmulProofBundle.from_bytes(blob)
+        bundle.z = (bundle.z + 1) % R
+        verifier = self._fresh_verifier(artifact)
+        if backend == "spartan":
+            # z is Fiat-Shamir-bound to commitment || Y.
+            assert not verifier.verify(bundle)
+        else:
+            # Groth16 bakes z into the CRS; the bundle field is advisory
+            # and the proof itself must still pass.
+            assert verifier.verify(bundle)
+
+    def test_rejects_tampered_commitment(self, backend, proved):
+        if backend == "groth16":
+            pytest.skip("groth16 bundles carry no commitment")
+        artifact, blob = proved
+        bundle = MatmulProofBundle.from_bytes(blob)
+        bundle.commitment = b"\x00" * len(bundle.commitment)
+        assert not self._fresh_verifier(artifact).verify(bundle)
+
+    def test_rejects_shape_mismatch(self, backend, proved):
+        artifact, _ = proved
+        registry, keystore = fresh_stores()
+        other = MatmulProver(
+            2, 2, 2, backend=backend, registry=registry, keystore=keystore
+        )
+        bundle = other.prove(*rand_mats(2, 2, 2, seed=5))
+        assert not self._fresh_verifier(artifact).verify(bundle)
+
+    def test_cross_process(self, backend, proved, tmp_path):
+        """A verifier built in a separate OS process from serialized
+        artifacts alone accepts the bundle and rejects a tampered one."""
+        artifact, blob = proved
+        art_path = tmp_path / "verifier.bin"
+        ok_path = tmp_path / "bundle.bin"
+        bad_bundle = MatmulProofBundle.from_bytes(blob)
+        bad_bundle.y[0][0] = (bad_bundle.y[0][0] + 1) % R
+        bad_path = tmp_path / "tampered.bin"
+        art_path.write_bytes(artifact)
+        ok_path.write_bytes(blob)
+        bad_path.write_bytes(bad_bundle.to_bytes())
+
+        code = (
+            "import sys\n"
+            "from repro.core import MatmulVerifier\n"
+            "v = MatmulVerifier.from_bytes(open(sys.argv[1], 'rb').read())\n"
+            "ok = v.verify_bytes(open(sys.argv[2], 'rb').read())\n"
+            "bad = v.verify_bytes(open(sys.argv[3], 'rb').read())\n"
+            "sys.exit(0 if (ok and not bad) else 1)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", code, str(art_path), str(ok_path), str(bad_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+
+
+class TestProvingService:
+    def test_batch_mixed_shapes_and_backends(self):
+        registry, keystore = fresh_stores()
+        svc = ProvingService(workers=2, registry=registry, keystore=keystore)
+        for seed in range(3):
+            svc.submit(*rand_mats(2, 3, 2, seed=seed), backend="groth16")
+        svc.submit(*rand_mats(2, 2, 2, seed=9), backend="groth16")
+        svc.submit(*rand_mats(2, 3, 2, seed=10), backend="spartan")
+        assert svc.pending == 5
+        report = svc.run(verify=True)
+        assert svc.pending == 0
+        assert report.verified
+        assert len(report.results) == 5
+        assert len(report.groups) == 3
+        # one setup per groth16 circuit, none for spartan
+        assert keystore.setups == 2
+
+    def test_results_ordered_and_serialized(self):
+        registry, keystore = fresh_stores()
+        svc = ProvingService(workers=1, registry=registry, keystore=keystore)
+        ids = [
+            svc.submit(*rand_mats(2, 2, 2, seed=s), backend="spartan")
+            for s in range(3)
+        ]
+        report = svc.run()
+        assert [r.job_id for r in report.results] == ids
+        for r in report.results:
+            back = MatmulProofBundle.from_bytes(r.bundle_bytes)
+            assert back.y == r.bundle.y
+        assert report.proofs_per_second > 0
+
+    def test_setup_amortized_across_batch(self):
+        registry, keystore = fresh_stores()
+        svc = ProvingService(workers=1, registry=registry, keystore=keystore)
+        for seed in range(4):
+            svc.submit(*rand_mats(2, 3, 2, seed=seed), backend="groth16")
+        report = svc.run(verify=True)
+        assert report.verified
+        assert keystore.setups == 1
+        assert registry.builds == 1
+
+    def test_setup_not_rebilled_on_second_batch(self):
+        registry, keystore = fresh_stores()
+        svc = ProvingService(workers=1, registry=registry, keystore=keystore)
+        svc.submit(*rand_mats(2, 2, 2, seed=1), backend="groth16")
+        first = svc.run()
+        assert first.setup_seconds > 0
+        svc.submit(*rand_mats(2, 2, 2, seed=2), backend="groth16")
+        second = svc.run()
+        assert second.setup_seconds == 0.0
+
+    def test_forged_hyrax_shape_header_verifies_false(self):
+        """A deserializable bundle whose commitment shape disagrees with
+        its row count must be rejected by the codec, not crash msm."""
+        import struct
+
+        from repro import serialize as ser
+
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 2, 2, backend="spartan", registry=registry, keystore=keystore
+        )
+        bundle = prover.prove(*rand_mats(2, 2, 2))
+        proof_blob = bytearray(ser.spartan_proof_to_bytes(bundle.proof))
+        n_rows, num_vars, row_vars = struct.unpack(">III", proof_blob[:12])
+        proof_blob[:12] = struct.pack(">III", 0, num_vars, row_vars)
+        with pytest.raises(ser.SerializationError):
+            ser.spartan_proof_from_bytes(bytes(proof_blob))
+        proof_blob[:12] = struct.pack(">III", n_rows, 60, row_vars)
+        with pytest.raises(ser.SerializationError):
+            ser.spartan_proof_from_bytes(bytes(proof_blob))
+        # and through the serving-loop contract: False, not a crash
+        verifier = prover.verifier()
+        wire = bytearray(bundle.to_bytes())
+        idx = bytes(wire).rindex(bytes(ser.spartan_proof_to_bytes(bundle.proof)))
+        wire[idx:idx + 12] = struct.pack(">III", 0, num_vars, row_vars)
+        assert not verifier.verify_bytes(bytes(wire))
+
+    def test_poisoned_group_does_not_lose_other_groups(self):
+        registry, keystore = fresh_stores()
+        svc = ProvingService(workers=1, registry=registry, keystore=keystore)
+        good = svc.submit(*rand_mats(2, 2, 2, seed=1), backend="spartan")
+        # Passes shape validation but blows up at proving time.
+        svc.submit([["x", "y"], [1, 2]], [[1], [2]], backend="spartan")
+        report = svc.run(verify=True)
+        assert [r.job_id for r in report.results] == [good]
+        assert len(report.errors) == 1
+        # A batch with failures is never "verified"...
+        assert report.verified is False
+        # ...but the jobs that did complete still check out.
+        assert svc.verify_report(report)
+
+    def test_malformed_direct_job_reported_not_fatal(self):
+        from repro.core import ProveJob
+
+        registry, keystore = fresh_stores()
+        svc = ProvingService(workers=1, registry=registry, keystore=keystore)
+        x, w = rand_mats(2, 2, 2, seed=3)
+        jobs = [
+            ProveJob(job_id=0, x=x, w=w, backend="spartan"),
+            ProveJob(job_id=1, x=[[1, 2], [3]], w=[[1], [2]], backend="spartan"),
+        ]
+        report = svc.prove_batch(jobs, verify=True)
+        assert [r.job_id for r in report.results] == [0]
+        assert list(report.invalid_jobs) == [1]
+        assert report.verified is False
+        assert svc.verify_report(report)
+
+    def test_unknown_backend_or_strategy_rejected_at_submit(self):
+        svc = ProvingService(registry=CircuitRegistry(), keystore=KeyStore())
+        with pytest.raises(ValueError):
+            svc.submit([[1]], [[1]], backend="grot16")
+        with pytest.raises(ValueError):
+            svc.submit([[1]], [[1]], strategy="quantum")
+        assert svc.pending == 0
+
+    def test_empty_and_ragged_matrices_rejected(self):
+        svc = ProvingService(registry=CircuitRegistry(), keystore=KeyStore())
+        with pytest.raises(ValueError):
+            svc.submit([], [])
+        with pytest.raises(ValueError):
+            svc.submit([[1, 2], [3]], [[1], [2]])
+        assert svc.pending == 0
+
+    def test_exported_verifier_checks_served_bundles(self):
+        registry, keystore = fresh_stores()
+        svc = ProvingService(registry=registry, keystore=keystore)
+        svc.submit(*rand_mats(2, 2, 2, seed=1), backend="groth16")
+        report = svc.run()
+        (key,) = report.groups
+        artifact = svc.export_verifier(key)
+        verifier = MatmulVerifier.from_bytes(artifact, registry=CircuitRegistry())
+        assert verifier.verify_bytes(report.results[0].bundle_bytes)
+
+    def test_bad_shape_rejected_at_submit(self):
+        svc = ProvingService(registry=CircuitRegistry(), keystore=KeyStore())
+        with pytest.raises(ValueError):
+            svc.submit([[1, 2]], [[1], [2], [3]])
+        assert svc.pending == 0
+
+
+class TestInferenceVerifyHardening:
+    def test_hostile_layer_metadata_returns_false(self):
+        """Tampered strategy/backend/shape in a layer bundle must make
+        VerifiableInference.verify return False, never raise."""
+        from repro.zkml import InferenceProof, LayerProof, VerifiableInference
+
+        registry, keystore = fresh_stores()
+        # verify() never touches the model, so no qmodel is needed here.
+        vi = VerifiableInference(
+            None, backend="spartan", registry=registry, keystore=keystore
+        )
+        prover = MatmulProver(
+            2, 2, 2, backend="spartan", registry=registry, keystore=keystore
+        )
+        bundle = prover.prove(*rand_mats(2, 2, 2))
+        ok = InferenceProof(0, [], [LayerProof("l", bundle)])
+        assert vi.verify(ok)
+
+        for attr, value in (
+            ("strategy", "crpc"),
+            ("strategy", "bogus"),
+            ("backend", "groth16"),
+            ("shape", (5, 5, 5)),
+        ):
+            hostile = MatmulProofBundle.from_bytes(bundle.to_bytes())
+            setattr(hostile, attr, value)
+            proof = InferenceProof(0, [], [LayerProof("l", hostile)])
+            assert not vi.verify(proof)
+
+
+class TestWireHardening:
+    def test_unknown_backend_name_rejected(self):
+        from repro import serialize as ser
+
+        blob = ser.verifier_artifact_to_bytes("starks", "crpc_psq", (2, 2, 2))
+        with pytest.raises(ValueError):
+            MatmulVerifier.from_bytes(blob)
+
+    def test_non_utf8_backend_field_rejected(self):
+        from repro import serialize as ser
+
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 2, 2, backend="spartan", registry=registry, keystore=keystore
+        )
+        blob = bytearray(prover.prove(*rand_mats(2, 2, 2)).to_bytes())
+        # First field is the length-prefixed backend name; corrupt it.
+        blob[4] = 0xFF
+        with pytest.raises(ser.SerializationError):
+            MatmulProofBundle.from_bytes(bytes(blob))
+
+    def test_verify_bytes_returns_false_on_malformed_input(self):
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 2, 2, backend="spartan", registry=registry, keystore=keystore
+        )
+        prover.prove(*rand_mats(2, 2, 2))
+        verifier = prover.verifier()
+        # Untrusted bytes must never crash a serving loop: truncation,
+        # garbage, and unreduced scalars all verify False.
+        assert not verifier.verify_bytes(b"")
+        assert not verifier.verify_bytes(b"garbage")
+        blob = bytearray(prover.prove(*rand_mats(2, 2, 2, seed=1)).to_bytes())
+        offset = 4 + 7 + 4 + 8 + 12  # names + shape header -> first y scalar
+        blob[offset] = 0xFF  # scalar >= R
+        assert not verifier.verify_bytes(bytes(blob))
+
+    def test_huge_shape_header_rejected_cheaply(self):
+        from repro import serialize as ser
+
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 2, 2, backend="spartan", registry=registry, keystore=keystore
+        )
+        blob = bytearray(prover.prove(*rand_mats(2, 2, 2)).to_bytes())
+        # Shape header sits right after the two length-prefixed names.
+        offset = 4 + 7 + 4 + 8  # "spartan" + "crpc_psq" blobs
+        blob[offset:offset + 4] = (0xFFFFFFFF).to_bytes(4, "big")
+        with pytest.raises(ser.SerializationError):
+            MatmulProofBundle.from_bytes(bytes(blob))
+        blob[offset:offset + 4] = (0).to_bytes(4, "big")
+        with pytest.raises(ser.SerializationError):
+            MatmulProofBundle.from_bytes(bytes(blob))
+
+    def test_verify_never_fabricates_keys(self):
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 2, 2, backend="groth16", registry=registry, keystore=keystore
+        )
+        bundle = prover.prove(*rand_mats(2, 2, 2))
+        # A prover over an empty keystore must refuse, not silently run a
+        # fresh setup whose key would reject the valid proof.
+        other_reg, other_ks = fresh_stores()
+        stranger = MatmulProver(
+            2, 2, 2, backend="groth16", registry=other_reg, keystore=other_ks
+        )
+        with pytest.raises(KeyError):
+            stranger.verify(bundle)
+        assert other_ks.setups == 0
