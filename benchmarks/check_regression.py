@@ -28,7 +28,14 @@ sys.path.insert(
 from bench_prover_hotpaths import DEFAULT_OUT, run_benchmarks  # noqa: E402
 
 # Only the fast paths gate: reference/naive numbers are informational.
-_GATED_METRICS = ("fast_ops_per_sec", "fixed_base_ops_per_sec")
+# ``process_ops_per_sec`` (service section) gates the process-pool
+# executor: committed on a single-core machine where it sits at thread
+# parity, so any multi-core runner only ever beats it.
+_GATED_METRICS = (
+    "fast_ops_per_sec",
+    "fixed_base_ops_per_sec",
+    "process_ops_per_sec",
+)
 
 
 def _paired_metrics(baseline: dict, fresh: dict):

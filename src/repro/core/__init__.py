@@ -30,15 +30,21 @@ from .crpc import (
     pack_y,
     theory_counts,
 )
+from .pool import GroupChunkPolicy, PoolOutcome, ProcessProvingExecutor
 from .psq import LeftWireReport, left_wire_report, prefix_sums, psq_reduction_factor
-from .service import ProveJob, ProvingService, ServiceReport
+from .service import EXECUTORS, JobResult, ProveJob, ProvingService, ServiceReport
 
 __all__ = [
     "BACKENDS",
     "CircuitRegistry",
     "ConstraintTheory",
+    "EXECUTORS",
+    "GroupChunkPolicy",
+    "JobResult",
     "KeyStore",
     "LeftWireReport",
+    "PoolOutcome",
+    "ProcessProvingExecutor",
     "MatmulProofBundle",
     "MatmulProver",
     "MatmulVerifier",

@@ -21,6 +21,7 @@ shape must serialise the assign+prove critical section.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
@@ -31,6 +32,17 @@ from .backends import ProofBackend, get_backend
 
 CircuitKey = Tuple[int, int, int, str]          # (a, n, b, strategy)
 ArtifactKey = Tuple[int, int, int, str, str]    # + backend name
+
+# Distinguishes tmp files of concurrent KeyStore instances within one
+# process (the pid alone only separates processes).
+_TMP_COUNTER = itertools.count()
+
+# Publish retry/repair tuning: ~10s of polling before the last-resort
+# replace.  The repair lock is an fcntl flock, so a crashed holder's lock
+# releases with its process — no stale-timeout reclaim window in which
+# two repairers could both think they hold it.
+_PUBLISH_ATTEMPTS = 100
+_REPAIR_POLL_SECONDS = 0.1
 
 
 class CircuitRegistry:
@@ -76,14 +88,22 @@ class KeyStore:
     keypairs persist as ``<backend>-<circuit_id>.keys`` files (the circuit
     id hashes shape and strategy, so a stale file can never be served for
     the wrong circuit) and survive process restarts.
+
+    ``readonly=True`` is the worker-side discipline for the process-pool
+    executor: the store consults memory and disk only, never runs setup,
+    and never writes (no tmp files, no repair, no lock files) — a pool
+    worker that raced its siblings to a half-provisioned root must fail
+    with ``KeyError`` instead of minting a divergent keypair.
     """
 
     def __init__(
         self,
         root: Optional[str] = None,
         registry: Optional[CircuitRegistry] = None,
+        readonly: bool = False,
     ) -> None:
         self.root = root
+        self.readonly = readonly
         self.registry = registry if registry is not None else default_registry()
         self._artifacts: Dict[ArtifactKey, object] = {}
         self._setup_seconds: Dict[ArtifactKey, float] = {}
@@ -92,7 +112,7 @@ class KeyStore:
         self.setups = 0
         self.disk_loads = 0
         self.hits = 0
-        if root is not None:
+        if root is not None and not readonly:
             os.makedirs(root, exist_ok=True)
 
     # -- internals ---------------------------------------------------------------
@@ -113,10 +133,13 @@ class KeyStore:
     ):
         """The cached setup artifacts for one circuit key.
 
-        With ``create=False`` only memory and disk are consulted; a miss
-        raises ``KeyError`` instead of silently producing a *new* keypair
-        that could never verify existing proofs.
+        With ``create=False`` (forced by ``readonly`` stores) only memory
+        and disk are consulted; a miss raises ``KeyError`` instead of
+        silently producing a *new* keypair that could never verify
+        existing proofs.
         """
+        if self.readonly:
+            create = False
         backend = get_backend(backend_name)
         if not backend.requires_setup:
             return None
@@ -185,33 +208,97 @@ class KeyStore:
 
         Exactly one process may win a cold-start race: ``os.link`` fails
         if the file already exists, in which case the winner's keypair is
-        returned for *adoption* in place of ours — otherwise this process
+        read back and *adopted* in place of ours — otherwise this process
         would ship proofs that every disk-loading verifier rejects.
+
+        The corrupt-file corner needs more care than a single shot: if
+        two fresh processes both find a damaged file, both would
+        ``os.replace`` it and each keep *its own* keypair in memory —
+        disk ends up holding one key while the other process serves
+        proofs nobody can verify (double-publish).  Repair is therefore
+        serialized through an ``O_EXCL`` lock file, and losers loop back
+        to adopt whatever the repairer installed.
         """
         path = self._path(backend, circuit)
-        # pid-unique tmp: concurrent processes must not interleave writes.
-        tmp = f"{path}.{os.getpid()}.tmp"
+        # pid+instance-unique tmp: concurrent processes — and concurrent
+        # KeyStore instances sharing one root within a process — must not
+        # interleave writes.
+        tmp = f"{path}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
         with open(tmp, "wb") as fh:
             fh.write(blob)
         try:
-            os.link(tmp, path)
-        except FileExistsError:
-            try:
-                with open(path, "rb") as fh:
-                    artifacts = backend.artifacts_from_bytes(fh.read(), circuit)
-            except (OSError, ValueError):
-                # Existing file is unreadable (it lost to corruption, not
-                # to a racing setup): repair it with ours.
-                os.replace(tmp, path)
-        except OSError:
-            # Filesystem without hard links (CIFS, some container
-            # volumes): fall back to a plain atomic rename — loses the
-            # adopt-on-race guarantee but keeps persistence working.
+            for _ in range(_PUBLISH_ATTEMPTS):
+                try:
+                    os.link(tmp, path)
+                    return artifacts  # we won the publish race
+                except FileExistsError:
+                    pass
+                except OSError:
+                    # Filesystem without hard links (CIFS, some container
+                    # volumes): plain atomic rename — loses the
+                    # adopt-on-race guarantee but keeps persistence
+                    # working.
+                    os.replace(tmp, path)
+                    return artifacts
+                try:
+                    with open(path, "rb") as fh:
+                        return backend.artifacts_from_bytes(fh.read(), circuit)
+                except FileNotFoundError:
+                    continue  # repairer unlinked it; race the link again
+                except (OSError, ValueError):
+                    pass  # damaged file: fall through to serialized repair
+                lock_fd = self._acquire_repair_lock(path)
+                if lock_fd is not None:
+                    try:
+                        # Re-check under the lock: a racing repairer may
+                        # have already installed a good file.
+                        try:
+                            with open(path, "rb") as fh:
+                                return backend.artifacts_from_bytes(
+                                    fh.read(), circuit
+                                )
+                        except (OSError, ValueError):
+                            os.replace(tmp, path)
+                            return artifacts
+                    finally:
+                        self._release_repair_lock(lock_fd)
+                else:
+                    # Repair in progress elsewhere; a crashed repairer
+                    # releases its flock with its process, so one of the
+                    # waiters will take the lock on a later attempt.
+                    time.sleep(_REPAIR_POLL_SECONDS)
+            # Pathological contention: give up on adoption, keep disk valid.
             os.replace(tmp, path)
+            return artifacts
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
-        return artifacts
+
+    @staticmethod
+    def _acquire_repair_lock(path: str) -> Optional[int]:
+        """Take the repair flock; returns the held fd, or ``None`` if a
+        live process holds it.  flock dies with its holder, so a crashed
+        repairer can never wedge the key — and there is no stale-timeout
+        reclaim in which two repairers could both believe they hold the
+        lock."""
+        lock = path + ".repair"
+        try:
+            import fcntl
+
+            fd = os.open(lock, os.O_CREAT | os.O_WRONLY)
+        except (ImportError, OSError):
+            return -1  # no flock on this platform/fs: proceed unlocked
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return None
+        return fd
+
+    @staticmethod
+    def _release_repair_lock(fd: int) -> None:
+        if fd >= 0:
+            os.close(fd)  # closing drops the flock
 
     def setup_seconds(
         self, a: int, n: int, b: int, strategy: str, backend_name: str

@@ -104,6 +104,14 @@ class ProofBackend(abc.ABC):
     ):
         return None
 
+    def warm(self, artifacts) -> None:
+        """Pre-build per-key prover caches ahead of a batch.
+
+        Optional: callers that will prove several instances against one
+        key (pool workers serving a chunk) invoke this so the first
+        proofs don't pay the promote-on-reuse ramp of the fixed-base
+        cache.  Default is a no-op."""
+
 
 # -- Groth16 -------------------------------------------------------------------
 
@@ -217,6 +225,36 @@ class Groth16Backend(ProofBackend):
         instance = circuit.cs.specialize(circuit.packing_point())
         return Groth16Artifacts(keypair=keypair, instance=instance)
 
+    def warm(self, artifacts: Groth16Artifacts) -> None:
+        """Build the fixed-base window tables for every PK query now.
+
+        The labels mirror :func:`repro.groth16.prove.prove` exactly, so
+        each subsequent proof under this keypair starts at table speed
+        instead of paying two generic Pippenger MSMs per query first.
+
+        Warming stops once the cache's table-point budget is spent: a
+        proving key whose queries exceed the budget would otherwise
+        evict the tables just built for its own earlier queries —
+        expensive construction thrown away before the first proof.
+        """
+        from ..curve.fixed_base import (
+            _CACHE_TABLE_POINT_LIMIT,
+            prewarm_fixed_base,
+        )
+
+        pk = artifacts.keypair.pk
+        budget = _CACHE_TABLE_POINT_LIMIT
+        for label, points in (
+            ("groth16-a", pk.a_query),
+            ("groth16-b1", pk.b_g1_query),
+            ("groth16-k", pk.k_query),
+            ("groth16-h", pk.h_query),
+        ):
+            if len(points) > budget:
+                continue  # promote-on-reuse decides for the oversized rest
+            budget -= len(points)
+            prewarm_fixed_base((label, id(pk)), points)
+
 
 # -- Spartan -------------------------------------------------------------------
 
@@ -312,6 +350,36 @@ class SpartanBackend(ProofBackend):
 
     def proof_from_bytes(self, data: bytes):
         return serialize.spartan_proof_from_bytes(data)
+
+
+# -- worker entrypoints ----------------------------------------------------------
+#
+# Top-level (picklable) functions shared by the in-process serving path and
+# the process-pool workers in :mod:`repro.core.pool`.  Workers cannot ship
+# live backend or circuit objects across the spawn boundary; they ship
+# names and bytes, and everything live is rebuilt here from the registry.
+
+def prove_jobs_to_wire(
+    backend_name: str,
+    circuit: MatmulCircuit,
+    artifacts,
+    jobs,
+    rng: Rng = None,
+):
+    """Prove a same-circuit job list and serialize every bundle.
+
+    ``jobs`` is a sequence of ``(job_id, x, w)``; the return value is a
+    list of ``(job_id, bundle_bytes, prove_seconds)`` — exactly the
+    payload of :func:`repro.serialize.job_results_to_bytes`, so a pool
+    worker's results cross the process boundary as plain bytes.
+    """
+    backend = get_backend(backend_name)
+    out = []
+    for job_id, x_mat, w_mat in jobs:
+        t0 = time.perf_counter()
+        bundle = backend.prove(circuit, artifacts, x_mat, w_mat, rng)
+        out.append((job_id, bundle.to_bytes(), time.perf_counter() - t0))
+    return out
 
 
 # -- registry ------------------------------------------------------------------

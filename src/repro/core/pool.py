@@ -1,0 +1,291 @@
+"""Multi-process proving executor.
+
+Pure-Python proving is CPU-bound, so the thread pool in
+:class:`~repro.core.service.ProvingService` can only overlap waiting — the
+GIL serialises the actual work.  This module moves whole circuit groups
+(or shards of one large group) into worker *processes*:
+
+* **Jobs cross the boundary as bytes.**  A group is shipped as a
+  :func:`repro.serialize.prove_jobs_to_bytes` envelope and comes back as a
+  :func:`repro.serialize.job_results_to_bytes` envelope of wire-format
+  bundles — no live circuit, key, or proof objects are ever pickled.
+* **Workers rehydrate keys from disk, never from pickles.**  A worker
+  opens the parent's :class:`~repro.core.artifacts.KeyStore` root
+  *read-only* and loads the keypair the parent published before
+  dispatching; a Groth16 proving key is tens of kilobytes of group
+  elements that the disk cache already stores in wire format, and a
+  worker that fabricated its own keypair would produce proofs nobody can
+  verify.  Spartan groups need no key material at all.
+* **Spawn-safe.**  The worker entrypoint is a top-level function and all
+  of its inputs are primitives, so it works under the ``spawn`` start
+  method (macOS/Windows default, and required under free-threading);
+  ``fork`` is preferred where available because it skips re-importing the
+  interpreter state.
+* **Failure isolation.**  A Python-level error inside one group's worker
+  is pickled back and reported for that group only.  A *dying* worker
+  (segfault, ``os._exit``) breaks the whole pool and every unfinished
+  future raises ``BrokenProcessPool`` — the culprit is indistinguishable
+  from the collateral, so each affected group is retried once, alone, in
+  a fresh single-worker pool: innocent groups complete, the culprit fails
+  again and is reported as that group's error.
+
+The :class:`GroupChunkPolicy` decides which groups are worth a process
+hop at all: estimated group cost below the dispatch threshold stays
+in-process (spawn + rehydration overhead would dominate), and large
+groups are sharded into several chunks so one hot circuit saturates every
+worker instead of one.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import serialize
+from .artifacts import CircuitRegistry, KeyStore
+from .backends import get_backend, prove_jobs_to_wire
+
+#: crude wall-seconds per abstract circuit-cost unit (constraints + terms
+#: + wires) for this pure-Python stack; only used to compare group cost
+#: against the dispatch thresholds, so being off by 2-3x merely shifts
+#: the inline/process break-even point.  A calibrated
+#: :class:`~repro.zkml.costmodel.CostModel` replaces it when provided.
+_SECONDS_PER_COST_UNIT = 2e-3
+
+#: test-only hook (see tests/test_pool.py): a worker whose group strategy
+#: matches this environment variable dies without cleanup, simulating a
+#: segfaulting worker so the BrokenProcessPool isolation path is testable.
+_CRASH_ENV = "REPRO_POOL_TEST_CRASH"
+
+ChunkTag = Tuple[tuple, int]  # (circuit key, chunk index)
+
+# Worker-process caches, keyed by keystore root: one worker serves many
+# chunks, and rebuilding circuits or re-reading keys per chunk would waste
+# exactly the amortisation the pool exists for.
+_WORKER_STORES: Dict[Optional[str], Tuple[CircuitRegistry, KeyStore]] = {}
+
+
+def _worker_stores(root: Optional[str]) -> Tuple[CircuitRegistry, KeyStore]:
+    stores = _WORKER_STORES.get(root)
+    if stores is None:
+        registry = CircuitRegistry()
+        keystore = KeyStore(root=root, registry=registry, readonly=True)
+        stores = _WORKER_STORES[root] = (registry, keystore)
+    return stores
+
+
+def _prove_group_worker(keystore_root: Optional[str], jobs_blob: bytes) -> bytes:
+    """Top-level (picklable) pool entrypoint: one same-circuit chunk.
+
+    Takes and returns wire envelopes only.  Raises ``KeyError`` if the
+    chunk needs setup artifacts the parent never published — a worker
+    must adopt the parent's keypair or fail, never mint its own.
+    """
+    jobs = serialize.prove_jobs_from_bytes(jobs_blob)
+    if not jobs:
+        return serialize.job_results_to_bytes([])
+    _, x0, w0, strategy, backend_name = jobs[0]
+    if os.environ.get(_CRASH_ENV) == strategy:
+        os._exit(13)  # simulated segfault (test hook, see module docstring)
+    a, n, b = len(x0), len(x0[0]), len(w0[0])
+    registry, keystore = _worker_stores(keystore_root)
+    circuit = registry.get(a, n, b, strategy)
+    backend = get_backend(backend_name)
+    artifacts = None
+    if backend.requires_setup:
+        artifacts = keystore.artifacts(a, n, b, strategy, backend_name)
+    if len(jobs) >= 2:
+        # A chunk amortises the eager table build; a single job would pay
+        # it for nothing (promote-on-reuse never builds for one shot).
+        backend.warm(artifacts)
+    results = prove_jobs_to_wire(
+        backend_name,
+        circuit,
+        artifacts,
+        [(job_id, x, w) for job_id, x, w, _, _ in jobs],
+    )
+    return serialize.job_results_to_bytes(results)
+
+
+@dataclass
+class GroupChunkPolicy:
+    """Cost-driven inline-vs-process and sharding decisions.
+
+    Group cost is estimated from the closed-form circuit costs
+    (:func:`repro.zkml.compile.matmul_cost`); with a calibrated
+    ``cost_model`` the estimate is in real predicted seconds, otherwise a
+    static rate converts abstract cost units to rough seconds.  A group
+    below ``min_dispatch_seconds`` stays in-process; anything above is
+    split into up to ``workers`` chunks of at least
+    ``target_chunk_seconds`` of predicted work each.
+    """
+
+    workers: int = 2
+    min_dispatch_seconds: float = 0.25
+    target_chunk_seconds: float = 0.1
+    cost_model: object = None  # Optional[repro.zkml.costmodel.CostModel]
+
+    def job_seconds(self, key) -> float:
+        """Predicted proving seconds for one job of this circuit."""
+        from ..zkml.compile import matmul_cost  # lazy: avoids an import cycle
+
+        a, n, b, strategy, backend = key
+        cost = matmul_cost(a, n, b, strategy)
+        if self.cost_model is not None:
+            if backend == "groth16":
+                return self.cost_model.groth16_prove_time(cost)
+            return self.cost_model.spartan_prove_time(cost)
+        return (
+            cost.constraints + cost.terms + cost.wires
+        ) * _SECONDS_PER_COST_UNIT
+
+    def plan(self, key, n_jobs: int) -> int:
+        """Number of process chunks for the group; ``0`` = serve inline."""
+        if n_jobs <= 0:
+            return 0
+        total = self.job_seconds(key) * n_jobs
+        if total < self.min_dispatch_seconds:
+            return 0
+        return min(
+            max(1, self.workers),
+            n_jobs,
+            max(1, math.ceil(total / self.target_chunk_seconds)),
+        )
+
+    @staticmethod
+    def chunk(jobs: Sequence, n_chunks: int) -> List[List]:
+        """Split ``jobs`` into ``n_chunks`` contiguous, balanced slices."""
+        n_chunks = max(1, min(n_chunks, len(jobs)))
+        size, extra = divmod(len(jobs), n_chunks)
+        out, start = [], 0
+        for i in range(n_chunks):
+            end = start + size + (1 if i < extra else 0)
+            out.append(list(jobs[start:end]))
+            start = end
+        return out
+
+
+@dataclass
+class PoolOutcome:
+    """What one :meth:`ProcessProvingExecutor.run` produced."""
+
+    #: tag -> decoded ``(job_id, bundle_bytes, prove_seconds)`` triples
+    results: Dict[ChunkTag, List[Tuple[int, bytes, float]]] = field(
+        default_factory=dict
+    )
+    #: tag -> error message for chunks that failed (isolated, not fatal)
+    errors: Dict[ChunkTag, str] = field(default_factory=dict)
+    #: chunks retried in a fresh pool after a worker died mid-batch
+    retried: List[ChunkTag] = field(default_factory=list)
+
+
+class ProcessProvingExecutor:
+    """Runs same-circuit job chunks on a pool of worker processes.
+
+    ``keystore_root`` is the directory workers rehydrate Groth16 keypairs
+    from; the dispatching service publishes setup artifacts there *before*
+    submitting work.  ``start_method`` defaults to ``fork`` where the
+    platform offers it (cheapest start-up) and ``spawn`` otherwise; both
+    are supported and tested.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        keystore_root: Optional[str] = None,
+        start_method: Optional[str] = None,
+    ):
+        self.workers = max(1, workers or (os.cpu_count() or 2))
+        self.keystore_root = keystore_root
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.start_method = start_method
+        self._ctx = multiprocessing.get_context(start_method)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _pool_executor(self) -> ProcessPoolExecutor:
+        # The pool persists across run() calls: worker processes keep
+        # their circuit/keypair/table caches (_WORKER_STORES) warm from
+        # batch to batch, which is the amortisation this module exists
+        # for.  It is torn down only after a worker death poisons it.
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._ctx
+            )
+            # If this executor is dropped without close(), shut the pool
+            # down at GC time: an orphaned ProcessPoolExecutor races the
+            # interpreter's exit hook and spews a harmless-but-ugly
+            # "Bad file descriptor" traceback on some CPython versions.
+            self._finalizer = weakref.finalize(
+                self, ProcessPoolExecutor.shutdown, self._pool, wait=False
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._finalizer.detach()
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def start(self, tasks: Sequence[Tuple[ChunkTag, bytes]]):
+        """Submit ``(tag, jobs_blob)`` chunks without blocking.
+
+        Returns the ``(tag, future)`` list for :meth:`finish`.  Callers
+        overlap work by submitting first, doing in-process serving, then
+        finishing — all from one thread, so worker forks never happen
+        from a helper thread of a lock-holding process.
+        """
+        pool = self._pool_executor()
+        return [
+            (tag, pool.submit(_prove_group_worker, self.keystore_root, blob))
+            for tag, blob in tasks
+        ]
+
+    def finish(
+        self, tasks: Sequence[Tuple[ChunkTag, bytes]], futures
+    ) -> PoolOutcome:
+        """Collect :meth:`start`'s futures; never raises for a chunk.
+
+        Worker exceptions are reported per chunk in ``errors``; a dying
+        worker poisons only its own chunk (see module docstring).
+        """
+        outcome = PoolOutcome()
+        broken: List[ChunkTag] = []
+        for tag, fut in futures:
+            try:
+                outcome.results[tag] = serialize.job_results_from_bytes(
+                    fut.result()
+                )
+            except BrokenProcessPool:
+                broken.append(tag)
+            except Exception as exc:  # noqa: BLE001 — reported per chunk
+                outcome.errors[tag] = f"{type(exc).__name__}: {exc}"
+        if broken:
+            self.shutdown()  # the shared pool is poisoned; rebuild lazily
+            by_tag = dict(tasks)
+            for tag in broken:
+                outcome.retried.append(tag)
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=1, mp_context=self._ctx
+                    ) as solo:
+                        blob = solo.submit(
+                            _prove_group_worker, self.keystore_root, by_tag[tag]
+                        ).result()
+                    outcome.results[tag] = serialize.job_results_from_bytes(blob)
+                except Exception as exc:  # noqa: BLE001
+                    outcome.errors[tag] = f"{type(exc).__name__}: {exc}"
+        return outcome
+
+    def run(self, tasks: Sequence[Tuple[ChunkTag, bytes]]) -> PoolOutcome:
+        """Submit and collect in one blocking call."""
+        if not tasks:
+            return PoolOutcome()
+        return self.finish(tasks, self.start(tasks))

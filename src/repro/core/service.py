@@ -8,9 +8,20 @@ bundles plus throughput statistics.  Verification of a served batch goes
 through the detached :class:`~repro.core.api.MatmulVerifier`; same-key
 Groth16 bundles use the small-exponent batch check.
 
-This is the layer the ROADMAP's scaling PRs (sharding, async dispatch,
-remote workers) build on: jobs are already data, results are already
-bytes.
+Three executor strategies are available (``executor=``):
+
+* ``"serial"`` — every group in the calling thread, in order;
+* ``"thread"`` — groups overlap on a thread pool (GIL-bound: mainly
+  overlaps waiting, the PR-2 default);
+* ``"process"`` — groups (sharded by :class:`~repro.core.pool.
+  GroupChunkPolicy`) run on worker *processes* that rehydrate keys from
+  the KeyStore's disk root and return wire-format bundles — the
+  multi-core path.  Groups too small to amortise the process hop, and
+  Groth16 groups when the keystore has no disk root to rehydrate from,
+  stay in-process (``ServiceReport.placements`` records the decision).
+
+This is the layer the ROADMAP's scaling PRs (async dispatch, remote
+workers) build on: jobs are already data, results are already bytes.
 """
 
 from __future__ import annotations
@@ -20,13 +31,17 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import serialize
 from ..gadgets.matmul import STRATEGIES
 from .api import MatmulProver, MatmulVerifier
 from .artifacts import CircuitRegistry, KeyStore, default_keystore, default_registry
 from .backends import get_backend
 from .bundle import MatmulProofBundle
+from .pool import GroupChunkPolicy, ProcessProvingExecutor
 
 CircuitKeyT = Tuple[int, int, int, str, str]  # (a, n, b, strategy, backend)
+
+EXECUTORS = ("serial", "thread", "process")
 
 
 @dataclass
@@ -76,6 +91,10 @@ class ServiceReport:
     errors: Dict[CircuitKeyT, str] = field(default_factory=dict)
     #: jobs rejected before grouping (malformed shapes), by job id
     invalid_jobs: Dict[int, str] = field(default_factory=dict)
+    #: where each group actually ran: ``"inline"`` (calling process) or
+    #: ``"process"`` (pool workers) — only populated by the process
+    #: executor, where the chunk policy makes a per-group decision
+    placements: Dict[CircuitKeyT, str] = field(default_factory=dict)
     #: True only if *every* job produced a bundle and every bundle
     #: verified — a batch with errors or invalid jobs is never "verified"
     verified: Optional[bool] = None
@@ -94,11 +113,14 @@ class ProvingService:
     """Groups prove jobs by circuit and serves them through shared
     artifacts.
 
-    ``workers`` bounds the thread pool over *groups* — a circuit's witness
-    assignment is stateful, so jobs within a group run sequentially while
-    distinct circuits may overlap.  Pure-Python proving is GIL-bound; the
-    pool mainly overlaps waiting and keeps the structure ready for
-    process-level workers.
+    ``workers`` bounds the pool over *groups* (and, for the process
+    executor, over group *chunks*) — a circuit's witness assignment is
+    stateful, so jobs within a chunk run sequentially while distinct
+    circuits (or shards of one circuit, each with its own worker-local
+    circuit instance) overlap.  ``executor`` picks the strategy: see the
+    module docstring.  The process executor ignores ``rng`` — workers use
+    their own entropy, so deterministic-rng tests should stay on
+    ``"serial"``/``"thread"``.
     """
 
     def __init__(
@@ -107,14 +129,34 @@ class ProvingService:
         registry: Optional[CircuitRegistry] = None,
         keystore: Optional[KeyStore] = None,
         rng=None,
+        executor: str = "thread",
+        start_method: Optional[str] = None,
+        chunk_policy: Optional[GroupChunkPolicy] = None,
     ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
         self.workers = max(1, workers)
+        self.executor = executor
         self.registry = registry if registry is not None else default_registry()
         self.keystore = keystore if keystore is not None else default_keystore()
         self._rng = rng
         self._queue: List[ProveJob] = []
         self._next_id = 0
         self._provers: Dict[CircuitKeyT, MatmulProver] = {}
+        self._chunk_policy = (
+            chunk_policy
+            if chunk_policy is not None
+            else GroupChunkPolicy(workers=self.workers)
+        )
+        self._pool: Optional[ProcessProvingExecutor] = None
+        if executor == "process":
+            self._pool = ProcessProvingExecutor(
+                workers=self.workers,
+                keystore_root=self.keystore.root,
+                start_method=start_method,
+            )
 
     # -- job intake --------------------------------------------------------------
     def submit(
@@ -193,6 +235,81 @@ class ProvingService:
             )
         return results
 
+    def _serve_groups_process(
+        self, groups: Dict[CircuitKeyT, List[ProveJob]], report: ServiceReport
+    ):
+        """Dispatch groups to the process pool, sharding large ones.
+
+        Returns the same ``(key, results, error)`` outcome triples the
+        in-process paths produce.  Groups the chunk policy deems too
+        small for a process hop — and Groth16 groups with no disk root
+        for workers to rehydrate keys from — are served inline.
+        """
+        tasks: List[Tuple[Tuple[CircuitKeyT, int], bytes]] = []
+        outcomes = []
+        inline: List[Tuple[CircuitKeyT, List[ProveJob]]] = []
+        dispatched: List[CircuitKeyT] = []
+        for key, jobs in groups.items():
+            backend = get_backend(key[4])
+            can_dispatch = self.keystore.root is not None or not backend.requires_setup
+            n_chunks = (
+                self._chunk_policy.plan(key, len(jobs)) if can_dispatch else 0
+            )
+            if n_chunks <= 0:
+                report.placements[key] = "inline"
+                inline.append((key, jobs))
+                continue
+            try:
+                # Workers open the keystore read-only: the parent must
+                # publish setup artifacts to disk before dispatching.
+                if backend.requires_setup:
+                    self._prover_for(key)._artifacts()
+                blobs = [
+                    serialize.prove_jobs_to_bytes(
+                        [(j.job_id, j.x, j.w, j.strategy, j.backend) for j in chunk]
+                    )
+                    for chunk in GroupChunkPolicy.chunk(jobs, n_chunks)
+                ]
+            except Exception as exc:  # noqa: BLE001 — poisoned group, isolated
+                outcomes.append((key, [], f"{type(exc).__name__}: {exc}"))
+                continue
+            report.placements[key] = "process"
+            dispatched.append(key)
+            tasks.extend(((key, ci), blob) for ci, blob in enumerate(blobs))
+        # Submit chunks before serving inline groups: the workers prove
+        # concurrently while the parent handles the inline tail, instead
+        # of the inline groups being dead serial time before the pool
+        # even starts.
+        futures = self._pool.start(tasks) if tasks else None
+        outcomes.extend(self._serve_group_safe(key, jobs) for key, jobs in inline)
+        if futures is not None:
+            pool_outcome = self._pool.finish(tasks, futures)
+            merged: Dict[CircuitKeyT, List[JobResult]] = {k: [] for k in dispatched}
+            errors: Dict[CircuitKeyT, List[str]] = {}
+            for (key, _ci), triples in pool_outcome.results.items():
+                for job_id, bundle_bytes, prove_s in triples:
+                    merged[key].append(
+                        JobResult(
+                            job_id=job_id,
+                            circuit_key=key,
+                            bundle=MatmulProofBundle.from_bytes(bundle_bytes),
+                            bundle_bytes=bundle_bytes,
+                            prove_seconds=prove_s,
+                        )
+                    )
+            for (key, _ci), msg in pool_outcome.errors.items():
+                errors.setdefault(key, []).append(msg)
+            for key in dispatched:
+                if key in errors:
+                    # An errored group yields no results, even if some of
+                    # its chunks survived — ServiceReport.errors documents
+                    # that invariant and the inline path honours it, so a
+                    # partially-failed sharded group must not differ.
+                    outcomes.append((key, [], "; ".join(errors[key])))
+                else:
+                    outcomes.append((key, merged[key], None))
+        return outcomes
+
     def run(self, verify: bool = False) -> ServiceReport:
         """Drain the queue: group, prove, serialize — and optionally check
         every served bundle through detached verifiers before returning."""
@@ -226,7 +343,13 @@ class ProvingService:
             invalid_jobs=invalid,
         )
         if groups:
-            if self.workers == 1 or len(groups) == 1:
+            if self.executor == "process":
+                outcomes = self._serve_groups_process(groups, report)
+            elif (
+                self.executor == "serial"
+                or self.workers == 1
+                or len(groups) == 1
+            ):
                 outcomes = [self._serve_group_safe(k, v) for k, v in groups.items()]
             else:
                 with ThreadPoolExecutor(
@@ -257,6 +380,16 @@ class ProvingService:
                 and self.verify_report(report)
             )
         return report
+
+    def close(self) -> None:
+        """Release the worker pool (process executor only).
+
+        The pool is kept alive across batches so workers retain their
+        circuit/keypair/table caches; long-lived services that are done
+        proving call this to reap the worker processes (interpreter exit
+        reaps them regardless)."""
+        if self._pool is not None:
+            self._pool.shutdown()
 
     # -- verification -------------------------------------------------------------
     def verify_report(self, report: ServiceReport) -> bool:

@@ -214,6 +214,20 @@ _CACHE_LIMIT = 24
 _CACHE_TABLE_POINT_LIMIT = 1 << 14
 
 
+def _cache_entry_for(label: object, points: Sequence[AffinePoint]) -> _CacheEntry:
+    """Find-or-create the cache entry for ``label``, enforcing the
+    points-identity reset, back-of-dict LRU reinsertion, and size bound —
+    the one place those invariants live."""
+    entry = _FIXED_BASE_CACHE.pop(label, None)
+    if entry is None or entry.points is not points:
+        entry = _CacheEntry(points)
+    # Re-insert at the back: LRU order, so hot labels survive eviction.
+    _FIXED_BASE_CACHE[label] = entry
+    while len(_FIXED_BASE_CACHE) > _CACHE_LIMIT:
+        _FIXED_BASE_CACHE.pop(next(iter(_FIXED_BASE_CACHE)))
+    return entry
+
+
 def fixed_base_msm(
     label: object,
     points: Sequence[AffinePoint],
@@ -228,13 +242,7 @@ def fixed_base_msm(
     reference to ``points``, so the identity check can never be confused by
     id reuse; a label rebound to a different vector simply resets its entry.
     """
-    entry = _FIXED_BASE_CACHE.pop(label, None)
-    if entry is None or entry.points is not points:
-        entry = _CacheEntry(points)
-    # Re-insert at the back: LRU order, so hot labels survive eviction.
-    _FIXED_BASE_CACHE[label] = entry
-    while len(_FIXED_BASE_CACHE) > _CACHE_LIMIT:
-        _FIXED_BASE_CACHE.pop(next(iter(_FIXED_BASE_CACHE)))
+    entry = _cache_entry_for(label, points)
     entry.hits += 1
     if entry.table is None and entry.hits >= build_after:
         entry.table = FixedBaseMSM(points)
@@ -246,6 +254,21 @@ def fixed_base_msm(
     if len(scalars) < len(points):
         return _generic_msm(list(points[: len(scalars)]), scalars)
     return _generic_msm(points, scalars)
+
+
+def prewarm_fixed_base(label: object, points: Sequence[AffinePoint]) -> None:
+    """Eagerly build the window tables for a base vector.
+
+    Promote-on-reuse makes the first two MSMs under a label pay generic
+    Pippenger prices — right for one-shot callers, wrong for a pool
+    worker that *knows* it is about to prove a whole chunk against one
+    proving key.  Such callers warm the cache up front so every proof in
+    the chunk, including the first, runs at table speed.
+    """
+    entry = _cache_entry_for(label, points)
+    if entry.table is None:
+        entry.table = FixedBaseMSM(points)
+        _evict_oversized_tables(keep=entry)
 
 
 def _evict_oversized_tables(keep: _CacheEntry) -> None:

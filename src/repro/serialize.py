@@ -412,6 +412,108 @@ def matmul_bundle_from_bytes(data: bytes):
     )
 
 
+# -- prove-job / job-result wire envelopes ---------------------------------------
+#
+# The process-pool executor (``repro.core.pool``) ships whole circuit
+# groups to worker processes as bytes: jobs go out as these envelopes,
+# results come back as wire-format bundles plus timing.  Matrix entries
+# are encoded canonically mod R — the circuits operate mod R, so the
+# encoding is semantics-preserving for signed inputs.
+
+def prove_job_to_bytes(
+    job_id: int,
+    x_mat,
+    w_mat,
+    strategy: str,
+    backend: str,
+) -> bytes:
+    if not x_mat or not x_mat[0] or not w_mat or not w_mat[0]:
+        raise SerializationError("empty job matrix")
+    a, n = len(x_mat), len(x_mat[0])
+    b = len(w_mat[0])
+    if len(w_mat) != n or any(len(row) != n for row in x_mat) or any(
+        len(row) != b for row in w_mat
+    ):
+        raise SerializationError("ragged or mismatched job matrices")
+    return (
+        struct.pack(">I", job_id)
+        + _pack_bytes(strategy.encode())
+        + _pack_bytes(backend.encode())
+        + struct.pack(">III", a, n, b)
+        + b"".join(scalar_to_bytes(v) for row in x_mat for v in row)
+        + b"".join(scalar_to_bytes(v) for row in w_mat for v in row)
+    )
+
+
+def prove_job_from_bytes(data: bytes):
+    """Returns ``(job_id, x, w, strategy, backend)`` with field-canonical
+    matrix entries."""
+    r = _Reader(data)
+    job = _prove_job_from_reader(r)
+    r.done()
+    return job
+
+
+def _prove_job_from_reader(r: _Reader):
+    job_id = r.u32()
+    strategy = _utf8(r.blob())
+    backend = _utf8(r.blob())
+    a, n, b = struct.unpack(">III", r.take(12))
+    if min(a, n, b) < 1:
+        raise SerializationError("job dimensions must be positive")
+    if (a * n + n * b) * 32 > len(r.data) - r.pos:
+        raise SerializationError("job shape header exceeds payload")
+    x = [[scalar_from_bytes(r.take(32)) for _ in range(n)] for _ in range(a)]
+    w = [[scalar_from_bytes(r.take(32)) for _ in range(b)] for _ in range(n)]
+    return job_id, x, w, strategy, backend
+
+
+def prove_jobs_to_bytes(jobs) -> bytes:
+    """Batch envelope: ``jobs`` is a sequence of
+    ``(job_id, x, w, strategy, backend)`` tuples (one circuit group)."""
+    out = struct.pack(">I", len(jobs))
+    for job_id, x, w, strategy, backend in jobs:
+        out += _pack_bytes(prove_job_to_bytes(job_id, x, w, strategy, backend))
+    return out
+
+
+def prove_jobs_from_bytes(data: bytes):
+    r = _Reader(data)
+    jobs = [prove_job_from_bytes(r.blob()) for _ in range(r.u32())]
+    r.done()
+    return jobs
+
+
+def job_result_to_bytes(job_id: int, bundle_bytes: bytes, prove_seconds: float) -> bytes:
+    return (
+        struct.pack(">Id", job_id, prove_seconds) + _pack_bytes(bundle_bytes)
+    )
+
+
+def job_result_from_bytes(data: bytes):
+    """Returns ``(job_id, bundle_bytes, prove_seconds)``."""
+    r = _Reader(data)
+    job_id, prove_seconds = struct.unpack(">Id", r.take(12))
+    bundle_bytes = r.blob()
+    r.done()
+    return job_id, bundle_bytes, prove_seconds
+
+
+def job_results_to_bytes(results) -> bytes:
+    """Batch envelope over ``(job_id, bundle_bytes, prove_seconds)``."""
+    out = struct.pack(">I", len(results))
+    for job_id, bundle_bytes, prove_seconds in results:
+        out += _pack_bytes(job_result_to_bytes(job_id, bundle_bytes, prove_seconds))
+    return out
+
+
+def job_results_from_bytes(data: bytes):
+    r = _Reader(data)
+    results = [job_result_from_bytes(r.blob()) for _ in range(r.u32())]
+    r.done()
+    return results
+
+
 # -- detached verifier artifacts -------------------------------------------------
 
 def verifier_artifact_to_bytes(

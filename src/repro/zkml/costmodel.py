@@ -48,16 +48,18 @@ class PrimitiveRates:
     g1_fixed_msm_per_point_s: float = 0.0
 
 
-def _best_of(fn, repeats: int = 3) -> float:
+def _best_of(fn, repeats: int = 3, timer=time.perf_counter) -> float:
     """Minimum wall time over a few runs.  Timing noise is one-sided
     (interruptions only ever slow a run down), so the minimum is the
     stable estimate — single-shot rates made downstream predictions
-    jitter run-to-run."""
+    jitter run-to-run.  ``timer`` is injectable so tests can drive the
+    min-of-repeats logic with a deterministic monotonic counter instead
+    of the wall clock."""
     best = float("inf")
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        t0 = timer()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, timer() - t0)
     return best
 
 

@@ -54,6 +54,15 @@ class VerifiableInference:
 
     ``max_layers`` bounds how many matmuls are actually proven (the rest are
     recomputed); ``None`` proves everything — only sensible for tiny models.
+
+    ``executor`` opts the layer proofs into the
+    :class:`~repro.core.service.ProvingService` executor strategies:
+    ``"serial"`` (default) proves layers in this process, ``"process"``
+    shards the captured layer matmuls across worker processes — the
+    multi-layer forward pass is exactly the many-jobs-few-circuits
+    workload the process pool is built for.  With ``"process"`` and a
+    Groth16 backend, pass a disk-rooted ``keystore`` so workers can
+    rehydrate the keypairs.
     """
 
     def __init__(
@@ -64,17 +73,22 @@ class VerifiableInference:
         max_layers: Optional[int] = None,
         registry: Optional[CircuitRegistry] = None,
         keystore: Optional[KeyStore] = None,
+        executor: str = "serial",
+        workers: int = 4,
     ):
         self.qmodel = qmodel
         self.strategy = strategy
         self.backend = backend
         self.max_layers = max_layers
+        self.executor = executor
+        self.workers = workers
         # Circuits and keypairs live in the shared artifact store, so
         # proofs from one instance verify on any other (and, with a
         # disk-backed KeyStore, across restarts).
         self._registry = registry if registry is not None else default_registry()
         self._keystore = keystore if keystore is not None else default_keystore()
         self._provers: Dict[Tuple[int, int, int], MatmulProver] = {}
+        self._service = None  # built once on first non-serial prove()
 
     def _prover_for(self, a: int, n: int, b: int) -> MatmulProver:
         key = (a, n, b)
@@ -116,14 +130,8 @@ class VerifiableInference:
         finally:
             q._linear = original_linear  # type: ignore[assignment]
 
-        proofs: List[LayerProof] = []
         budget = self.max_layers if self.max_layers is not None else len(captured)
-        for layer, x, w in captured[:budget]:
-            a, n = x.shape
-            b = w.shape[1]
-            prover = self._prover_for(a, n, b)
-            bundle = prover.prove(x.tolist(), w.tolist())
-            proofs.append(LayerProof(layer=layer, bundle=bundle))
+        proofs = self._prove_layers(captured[:budget])
 
         return InferenceProof(
             prediction=int(np.argmax(logits)),
@@ -131,6 +139,58 @@ class VerifiableInference:
             layer_proofs=proofs,
             prove_time_s=time.perf_counter() - t0,
         )
+
+    def _prove_layers(self, captured) -> List[LayerProof]:
+        """Prove captured ``(layer, x, w)`` matmuls under the configured
+        executor.
+
+        The serial path proves in-place through per-shape provers; the
+        service path submits every layer as a job so same-shape layers
+        group into circuit batches and (with ``executor="process"``) large
+        groups shard across worker processes.  Service submission order is
+        capture order, and results come back sorted by job id, so layer
+        names line up positionally.
+        """
+        if self.executor == "serial":
+            proofs = []
+            for layer, x, w in captured:
+                a, n = x.shape
+                b = w.shape[1]
+                prover = self._prover_for(a, n, b)
+                bundle = prover.prove(x.tolist(), w.tolist())
+                proofs.append(LayerProof(layer=layer, bundle=bundle))
+            return proofs
+
+        if self._service is None:
+            from ..core.service import ProvingService
+
+            # One service for the lifetime of this instance: the process
+            # executor's worker pool (and its per-worker circuit/key/table
+            # caches) then amortises across prove() calls instead of
+            # being rebuilt and leaked per inference.
+            self._service = ProvingService(
+                workers=self.workers,
+                registry=self._registry,
+                keystore=self._keystore,
+                executor=self.executor,
+            )
+        service = self._service
+        for _, x, w in captured:
+            a, n = x.shape
+            self._prover_for(a, n, w.shape[1])  # keeps export_verifiers working
+            service.submit(
+                x.tolist(), w.tolist(), strategy=self.strategy, backend=self.backend
+            )
+        report = service.run()
+        if report.errors or report.invalid_jobs or len(report.results) != len(captured):
+            raise RuntimeError(
+                f"layer proving failed: errors={report.errors} "
+                f"invalid={report.invalid_jobs}"
+            )
+        return [
+            LayerProof(layer=layer, bundle=result.bundle)
+            for (layer, _, _), result in zip(captured, report.results)
+        ]
 
     def _verifier_for(
         self, shape: Tuple[int, int, int], strategy: str, backend: str
@@ -180,6 +240,11 @@ class VerifiableInference:
             if not verifier.verify_batch(bundles):
                 return False
         return True
+
+    def close(self) -> None:
+        """Reap the proving service's worker pool, if one was started."""
+        if self._service is not None:
+            self._service.close()
 
     def export_verifiers(self) -> Dict[Tuple[int, int, int], bytes]:
         """Wire-format verifier artifacts for every proven layer circuit,

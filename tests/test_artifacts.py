@@ -1,6 +1,11 @@
 """Artifact store: circuit/keypair caching, disk persistence, and the key
 wire formats that make Groth16 proofs survive a process restart."""
 
+import os
+import subprocess
+import sys
+import time
+
 import pytest
 from _matutil import rand_mats
 
@@ -135,6 +140,87 @@ class TestKeyStoreDisk:
         assert ks2.setups == 0
         assert ks2.disk_loads == 1
         assert vk1 == vk2
+
+
+_RACE_WORKER = """
+import sys, time
+deadline = float(sys.argv[2])
+from repro import serialize
+from repro.core.artifacts import CircuitRegistry, KeyStore
+# All workers release at one deadline so setup+publish genuinely overlap.
+time.sleep(max(0.0, deadline - time.time()))
+ks = KeyStore(root=sys.argv[1], registry=CircuitRegistry())
+art = ks.artifacts(2, 2, 2, "crpc_psq", "groth16")
+sys.stdout.write(serialize.groth16_vk_to_bytes(art.keypair.vk).hex())
+"""
+
+_SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+
+
+class TestKeyStoreMultiprocessRace:
+    """Atomic publish with adopt-on-race, driven by real OS processes.
+
+    Two (or more) fresh worker processes adopting the same key path must
+    converge on one keypair: no corruption, no double-publish where one
+    process keeps serving a keypair the disk no longer holds.
+    """
+
+    def _race(self, tmp_path, n_procs, delay=2.0):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        deadline = str(time.time() + delay)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _RACE_WORKER, str(tmp_path), deadline],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(n_procs)
+        ]
+        vks = []
+        for p in procs:
+            out, err = p.communicate(timeout=300)
+            assert p.returncode == 0, err
+            vks.append(out)
+        return vks
+
+    def _assert_converged(self, tmp_path, vks):
+        assert len(set(vks)) == 1, "processes diverged on the published key"
+        files = sorted(f.name for f in tmp_path.iterdir())
+        # exactly one published key file and no leaked tmp files (the
+        # .repair flock file legitimately persists after a repair:
+        # unlinking a flock file would reopen the lock race it prevents)
+        assert [f for f in files if not f.endswith(".repair")] == [
+            f for f in files if f.endswith(".keys")
+        ], files
+        assert sum(f.endswith(".keys") for f in files) == 1, files
+        # the disk copy parses and matches what every process served
+        reg = CircuitRegistry()
+        ks = KeyStore(root=str(tmp_path), registry=reg)
+        art = ks.artifacts(2, 2, 2, "crpc_psq", "groth16", create=False)
+        assert ks.disk_loads == 1 and ks.setups == 0
+        assert ser.groth16_vk_to_bytes(art.keypair.vk).hex() == vks[0]
+
+    def test_fresh_processes_adopt_one_keypair(self, tmp_path):
+        vks = self._race(tmp_path, n_procs=3)
+        self._assert_converged(tmp_path, vks)
+
+    def test_repair_race_over_corrupt_file(self, tmp_path):
+        """Both processes find a damaged key file: repair must be
+        serialized so exactly one replacement wins and the loser adopts
+        it (this was the double-publish hole in the single-shot code)."""
+        reg = CircuitRegistry()
+        ks = KeyStore(root=str(tmp_path), registry=reg)
+        circuit = reg.get(2, 2, 2, "crpc_psq")
+        path = ks._path(get_backend("groth16"), circuit)
+        with open(path, "wb") as fh:
+            fh.write(b"corrupt keypair bytes")
+        vks = self._race(tmp_path, n_procs=2)
+        self._assert_converged(tmp_path, vks)
 
 
 class TestKeyWireFormats:

@@ -1,0 +1,325 @@
+"""Process-pool proving executor.
+
+Covers the executor contract: serial, thread, and process executors
+produce bundles that all verify through one detached verifier (both
+backends); the chunk policy's inline/shard decisions; worker keystore
+discipline (rehydrate-or-fail, never mint keys); and failure isolation —
+a poisoned group or a *dying* worker must never take down the other
+groups' finished proofs.
+"""
+
+import os
+
+import pytest
+from _matutil import rand_mats
+
+from repro import serialize
+from repro.core import (
+    CircuitRegistry,
+    GroupChunkPolicy,
+    KeyStore,
+    MatmulVerifier,
+    ProcessProvingExecutor,
+    ProvingService,
+)
+from repro.core.pool import _CRASH_ENV
+
+DISPATCH_ALWAYS = dict(min_dispatch_seconds=0.0)
+
+
+def make_service(tmp_path, executor, start_method=None, workers=2):
+    registry = CircuitRegistry()
+    keystore = KeyStore(root=str(tmp_path), registry=registry)
+    return ProvingService(
+        workers=workers,
+        registry=registry,
+        keystore=keystore,
+        executor=executor,
+        start_method=start_method,
+        chunk_policy=GroupChunkPolicy(workers=workers, **DISPATCH_ALWAYS),
+    )
+
+
+class TestChunkPolicy:
+    KEY_SMALL = (2, 2, 2, "crpc_psq", "groth16")
+    KEY_BIG = (8, 16, 8, "crpc_psq", "groth16")
+
+    def test_small_groups_stay_inline(self):
+        policy = GroupChunkPolicy(workers=4)
+        assert policy.plan(self.KEY_SMALL, 1) == 0
+        assert policy.plan(self.KEY_SMALL, 0) == 0
+
+    def test_large_groups_shard_up_to_workers(self):
+        policy = GroupChunkPolicy(workers=4, min_dispatch_seconds=0.0)
+        assert policy.plan(self.KEY_BIG, 8) == 4   # capped by workers
+        assert policy.plan(self.KEY_BIG, 3) == 3   # capped by job count
+        assert policy.plan(self.KEY_BIG, 1) == 1
+
+    def test_threshold_scales_with_circuit_cost(self):
+        policy = GroupChunkPolicy(workers=4)
+        # The same job count that stays inline for a tiny circuit is
+        # worth dispatching for a big one.
+        jobs = 4
+        assert policy.plan(self.KEY_SMALL, jobs) == 0
+        assert policy.plan(self.KEY_BIG, jobs) > 0
+
+    def test_cost_model_overrides_static_rate(self):
+        class FreeModel:
+            def groth16_prove_time(self, cost):
+                return 0.0
+
+            def spartan_prove_time(self, cost):
+                return 0.0
+
+        class DearModel(FreeModel):
+            def groth16_prove_time(self, cost):
+                return 10.0
+
+        free = GroupChunkPolicy(workers=4, cost_model=FreeModel())
+        dear = GroupChunkPolicy(workers=4, cost_model=DearModel())
+        assert free.plan(self.KEY_BIG, 8) == 0
+        assert dear.plan(self.KEY_SMALL, 8) == 4
+
+    def test_chunk_partition_is_balanced_and_ordered(self):
+        jobs = list(range(7))
+        chunks = GroupChunkPolicy.chunk(jobs, 3)
+        assert [j for c in chunks for j in c] == jobs
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert GroupChunkPolicy.chunk(jobs, 99) == [[j] for j in jobs]
+
+
+class TestJobEnvelopes:
+    def test_roundtrip(self):
+        x, w = rand_mats(2, 3, 2, seed=1)
+        blob = serialize.prove_jobs_to_bytes(
+            [(7, x, w, "crpc_psq", "spartan")]
+        )
+        ((job_id, x2, w2, strategy, backend),) = serialize.prove_jobs_from_bytes(
+            blob
+        )
+        assert job_id == 7 and strategy == "crpc_psq" and backend == "spartan"
+        # entries come back canonical mod R
+        from repro.field.prime_field import BN254_FR_MODULUS as R
+
+        assert x2 == [[v % R for v in row] for row in x]
+        assert w2 == [[v % R for v in row] for row in w]
+
+    def test_results_roundtrip(self):
+        blob = serialize.job_results_to_bytes([(3, b"bundle-bytes", 0.25)])
+        ((job_id, bundle_bytes, secs),) = serialize.job_results_from_bytes(blob)
+        assert (job_id, bundle_bytes, secs) == (3, b"bundle-bytes", 0.25)
+
+    def test_ragged_job_rejected(self):
+        with pytest.raises(serialize.SerializationError):
+            serialize.prove_job_to_bytes(0, [[1, 2], [3]], [[1], [2]], "s", "b")
+
+    def test_truncated_envelope_rejected(self):
+        x, w = rand_mats(2, 2, 2, seed=2)
+        blob = serialize.prove_jobs_to_bytes([(0, x, w, "crpc_psq", "spartan")])
+        with pytest.raises(serialize.SerializationError):
+            serialize.prove_jobs_from_bytes(blob[:-5])
+
+    def test_empty_matrices_rejected(self):
+        for x, w in ([], [[1]]), ([[]], [[1]]), ([[1]], []), ([[1]], [[]]):
+            with pytest.raises(serialize.SerializationError):
+                serialize.prove_job_to_bytes(0, x, w, "s", "b")
+
+
+@pytest.mark.parametrize("backend", ["groth16", "spartan"])
+class TestExecutorEquivalence:
+    def test_all_executors_verify_under_one_detached_key(
+        self, backend, tmp_path
+    ):
+        """Serial, thread, and process executors over one shared disk
+        keystore produce bundles that a single detached verifier (built
+        from exported bytes alone) accepts."""
+        registry = CircuitRegistry()
+        keystore = KeyStore(root=str(tmp_path), registry=registry)
+        all_bytes = []
+        artifact = None
+        for executor in ("serial", "thread", "process"):
+            svc = ProvingService(
+                workers=2,
+                registry=registry,
+                keystore=keystore,
+                executor=executor,
+                chunk_policy=GroupChunkPolicy(workers=2, **DISPATCH_ALWAYS),
+            )
+            for seed in range(2):
+                svc.submit(*rand_mats(2, 3, 2, seed=seed), backend=backend)
+            report = svc.run()
+            assert not report.errors and not report.invalid_jobs
+            assert len(report.results) == 2
+            if executor == "process":
+                (key,) = report.groups
+                assert report.placements[key] == "process"
+            all_bytes.extend(r.bundle_bytes for r in report.results)
+            if artifact is None:
+                (key,) = report.groups
+                artifact = svc.export_verifier(key)
+        # keys were set up exactly once and adopted everywhere
+        assert keystore.setups <= 1
+        verifier = MatmulVerifier.from_bytes(artifact, registry=CircuitRegistry())
+        assert all(verifier.verify_bytes(blob) for blob in all_bytes)
+
+    def test_spawn_start_method(self, backend, tmp_path):
+        """The worker entrypoint survives ``spawn`` (no inherited state:
+        fresh interpreter, keys rehydrated from disk only)."""
+        svc = make_service(tmp_path, "process", start_method="spawn")
+        svc.submit(*rand_mats(2, 2, 2, seed=3), backend=backend)
+        svc.submit(*rand_mats(2, 2, 2, seed=4), backend=backend)
+        report = svc.run(verify=True)
+        assert report.verified
+        assert set(report.placements.values()) == {"process"}
+
+
+class TestFailureIsolation:
+    def test_poisoned_group_reported_not_fatal(self, tmp_path):
+        """Jobs whose matrices cannot even be wire-encoded fail their own
+        group at dispatch; other groups still serve."""
+        svc = make_service(tmp_path, "process")
+        good = svc.submit(*rand_mats(2, 2, 2, seed=1), backend="spartan")
+        svc.submit([["x", "y"], [1, 2]], [[1], [2]], backend="spartan")
+        report = svc.run(verify=True)
+        assert [r.job_id for r in report.results] == [good]
+        assert len(report.errors) == 1
+        assert report.verified is False
+        assert svc.verify_report(report)
+
+    def test_dying_worker_poisons_only_its_group(self, tmp_path, monkeypatch):
+        """A worker that dies without cleanup (simulated segfault) breaks
+        the shared pool; innocent groups are retried in a fresh pool and
+        complete, only the culprit's group reports the error."""
+        monkeypatch.setenv(_CRASH_ENV, "crpc")
+        svc = make_service(tmp_path, "process")
+        good = [
+            svc.submit(*rand_mats(2, 2, 2, seed=s), backend="spartan")
+            for s in range(2)
+        ]
+        svc.submit(
+            *rand_mats(2, 2, 2, seed=9), strategy="crpc", backend="spartan"
+        )
+        report = svc.run()
+        assert [r.job_id for r in report.results] == good
+        (bad_key,) = report.errors
+        assert bad_key[3] == "crpc"
+        assert "BrokenProcessPool" in report.errors[bad_key]
+        assert svc.verify_report(report)
+
+    def test_partially_failed_sharded_group_yields_no_results(self, tmp_path):
+        """If any chunk of a sharded group fails, the whole group errors
+        with no results — the invariant ServiceReport.errors documents
+        and the inline path honours."""
+        from repro.core import PoolOutcome
+        from repro.core.pool import _prove_group_worker
+
+        svc = make_service(tmp_path, "process")
+        root = str(tmp_path)
+
+        class HalfBrokenPool:
+            def start(self, tasks):
+                return list(tasks)
+
+            def finish(self, tasks, futures):
+                outcome = PoolOutcome()
+                (tag0, blob0), (tag1, _) = futures
+                outcome.results[tag0] = serialize.job_results_from_bytes(
+                    _prove_group_worker(root, blob0)
+                )
+                outcome.errors[tag1] = "MemoryError: boom"
+                return outcome
+
+        svc._pool = HalfBrokenPool()
+        for seed in range(4):  # one group, sharded into 2 chunks
+            svc.submit(*rand_mats(2, 2, 2, seed=seed), backend="spartan")
+        report = svc.run()
+        assert report.results == []
+        (key,) = report.errors
+        assert "MemoryError" in report.errors[key]
+
+    def test_worker_refuses_to_mint_keys(self, tmp_path):
+        """A groth16 chunk dispatched against a root that holds no
+        published keypair must fail with KeyError — a worker-minted key
+        would produce proofs nobody can verify."""
+        x, w = rand_mats(2, 2, 2, seed=5)
+        blob = serialize.prove_jobs_to_bytes(
+            [(0, x, w, "crpc_psq", "groth16")]
+        )
+        executor = ProcessProvingExecutor(
+            workers=1, keystore_root=str(tmp_path)
+        )
+        outcome = executor.run([(("g", 0), blob)])
+        assert not outcome.results
+        assert "KeyError" in outcome.errors[("g", 0)]
+        # ...and it wrote nothing: the root is still empty.
+        assert os.listdir(tmp_path) == []
+
+
+class TestWorkerKeystoreDiscipline:
+    def test_readonly_keystore_never_writes(self, tmp_path):
+        root = tmp_path / "absent"
+        store = KeyStore(root=str(root), registry=CircuitRegistry(), readonly=True)
+        with pytest.raises(KeyError):
+            store.artifacts(2, 2, 2, "crpc_psq", "groth16")
+        assert not root.exists()
+
+    def test_readonly_forces_create_false(self, tmp_path):
+        store = KeyStore(
+            root=str(tmp_path), registry=CircuitRegistry(), readonly=True
+        )
+        with pytest.raises(KeyError):
+            store.artifacts(2, 2, 2, "crpc_psq", "groth16", create=True)
+        assert store.setups == 0
+
+    def test_groth16_dispatch_without_root_stays_inline(self):
+        """No disk root -> workers could not rehydrate, so the group is
+        served in-process instead of failing."""
+        registry = CircuitRegistry()
+        keystore = KeyStore(registry=registry)  # memory-only
+        svc = ProvingService(
+            workers=2,
+            registry=registry,
+            keystore=keystore,
+            executor="process",
+            chunk_policy=GroupChunkPolicy(workers=2, **DISPATCH_ALWAYS),
+        )
+        svc.submit(*rand_mats(2, 2, 2, seed=6), backend="groth16")
+        report = svc.run(verify=True)
+        assert report.verified
+        (key,) = report.groups
+        assert report.placements[key] == "inline"
+
+
+class TestVerifiableInferenceProcessPath:
+    def test_layer_proofs_via_process_executor(self, tmp_path):
+        """The zkml opt-in: captured layer matmuls route through the
+        process executor and still verify layer-by-layer."""
+        import numpy as np
+
+        from repro.zkml import VerifiableInference
+
+        registry = CircuitRegistry()
+        keystore = KeyStore(root=str(tmp_path), registry=registry)
+        vi = VerifiableInference(
+            None,
+            backend="spartan",
+            registry=registry,
+            keystore=keystore,
+            executor="process",
+            workers=2,
+        )
+        rng = np.random.default_rng(0)
+        captured = [
+            (f"layer{i}", rng.integers(-5, 5, (2, 3)), rng.integers(-5, 5, (3, 2)))
+            for i in range(3)
+        ]
+        proofs = vi._prove_layers(captured)
+        assert [p.layer for p in proofs] == ["layer0", "layer1", "layer2"]
+        from repro.zkml import InferenceProof
+
+        assert vi.verify(InferenceProof(0, [], proofs))
+        # the service (and its worker pool) persists across prove calls
+        assert vi._prove_layers(captured[:1])[0].layer == "layer0"
+        assert vi._service is not None
+        vi.close()

@@ -1,0 +1,240 @@
+"""Seeded mutation/truncation fuzzing of every wire format.
+
+The serving stack's contract for untrusted bytes is narrow: a mutated
+blob must either fail to parse with a clean ``ValueError``
+(``SerializationError``) or deserialize into something that verifies
+``False`` — never an unhandled exception, never a hang, never a forged
+``True``.  These tests drive that contract with deterministic seeded
+mutations (bit flips, truncations, extensions, zeroed slices) over VK /
+PK / keypair / bundle / verifier-artifact / job-envelope bytes, guarding
+the shape-header and Hyrax-header DoS checks in ``repro.serialize``.
+"""
+
+import random
+
+import pytest
+from _matutil import rand_mats
+
+from repro import serialize
+from repro.core import (
+    CircuitRegistry,
+    KeyStore,
+    MatmulProofBundle,
+    MatmulProver,
+    MatmulVerifier,
+)
+
+SEED = 0xF022ED
+
+
+def fresh_stores():
+    registry = CircuitRegistry()
+    return registry, KeyStore(registry=registry)
+
+
+def mutants(rng: random.Random, blob: bytes, count: int):
+    """Deterministic stream of corrupted variants of ``blob``."""
+    for _ in range(count):
+        data = bytearray(blob)
+        op = rng.randrange(5)
+        if op == 0 and data:  # flip one random byte
+            i = rng.randrange(len(data))
+            data[i] ^= 1 << rng.randrange(8)
+        elif op == 1 and data:  # truncate
+            del data[rng.randrange(len(data)):]
+        elif op == 2:  # append garbage
+            data.extend(rng.randbytes(rng.randrange(1, 40)))
+        elif op == 3 and len(data) >= 4:  # zero a slice
+            i = rng.randrange(len(data) - 3)
+            data[i:i + 4] = b"\x00\x00\x00\x00"
+        else:  # saturate a slice (hits length prefixes and headers hard)
+            i = rng.randrange(max(1, len(data) - 3))
+            data[i:i + 4] = b"\xff\xff\xff\xff"
+        yield bytes(data)
+
+
+def assert_parse_clean(parse, blob):
+    """Parsing corrupt bytes may only succeed or raise ValueError."""
+    try:
+        parse(blob)
+        return True
+    except ValueError:
+        return False
+    # anything else (struct.error, IndexError, MemoryError, ...) propagates
+    # and fails the test
+
+
+def semantic_fields(bundle):
+    """The fields a verifier actually checks.
+
+    Groth16 bundles carry ``z`` and ``commitment`` as advisory metadata
+    (the packing point is baked into the CRS, the commitment unused), so
+    a mutant differing only there may still verify — but then it must be
+    *semantically identical* to the original on everything the statement
+    binds."""
+    from repro.core.backends import get_backend
+
+    return (
+        bundle.backend,
+        bundle.strategy,
+        tuple(bundle.shape),
+        tuple(tuple(row) for row in bundle.y),
+        get_backend(bundle.backend).proof_to_bytes(bundle.proof),
+    )
+
+
+@pytest.mark.parametrize("backend", ["groth16", "spartan"], scope="class")
+class TestBundleFuzz:
+    # Verification is the expensive step (pairings / sumcheck), so only
+    # the mutants that *parse* go through it, with a per-backend cap;
+    # everything else asserts the parse contract only.
+    ATTEMPTS = {"groth16": 120, "spartan": 160}
+    VERIFY_CAP = {"groth16": 12, "spartan": 25}
+
+    @pytest.fixture(scope="class")
+    def proved(self, backend):
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 2, 2, backend=backend, registry=registry, keystore=keystore
+        )
+        bundle = prover.prove(*rand_mats(2, 2, 2, seed=11))
+        return prover.verifier(), bundle
+
+    def test_mutants_parse_cleanly_and_never_forge(self, backend, proved):
+        verifier, original = proved
+        blob = original.to_bytes()
+        reference = semantic_fields(original)
+        rng = random.Random(SEED + len(blob))
+        parsed = verified = 0
+        for mutant in mutants(rng, blob, self.ATTEMPTS[backend]):
+            if mutant == blob:
+                continue
+            if assert_parse_clean(MatmulProofBundle.from_bytes, mutant):
+                parsed += 1
+                if verified < self.VERIFY_CAP[backend]:
+                    verified += 1
+                    # the serving-loop contract: a bool, never a raise —
+                    # and True only for a semantically untouched bundle
+                    # (groth16's advisory z/commitment bytes)
+                    if verifier.verify_bytes(mutant) is not False:
+                        assert backend == "groth16"
+                        decoded = MatmulProofBundle.from_bytes(mutant)
+                        assert semantic_fields(decoded) == reference
+        # the corpus must exercise both outcomes or it proves nothing
+        assert parsed > 0 and verified > 0
+
+    def test_degenerate_inputs(self, backend, proved):
+        verifier, _ = proved
+        for blob in (b"", b"\x00", b"garbage" * 3, b"\xff" * 64):
+            assert_parse_clean(MatmulProofBundle.from_bytes, blob)
+            assert verifier.verify_bytes(blob) is False
+
+
+class TestKeyMaterialFuzz:
+    @pytest.fixture(scope="class")
+    def keypair_blobs(self):
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 2, 2, backend="groth16", registry=registry, keystore=keystore
+        )
+        artifacts = prover._artifacts()
+        from repro.core.backends import get_backend
+
+        backend = get_backend("groth16")
+        keypair_bytes = backend.artifacts_to_bytes(artifacts)
+        vk_bytes = backend.export_vk(artifacts)
+        pk_bytes = serialize.groth16_pk_to_bytes(artifacts.keypair.pk)
+        return vk_bytes, pk_bytes, keypair_bytes
+
+    @pytest.mark.parametrize("which", ["vk", "pk", "keypair"])
+    def test_key_mutants_parse_cleanly(self, keypair_blobs, which):
+        vk_bytes, pk_bytes, keypair_bytes = keypair_blobs
+        blob, parse = {
+            "vk": (vk_bytes, serialize.groth16_vk_from_bytes),
+            "pk": (pk_bytes, serialize.groth16_pk_from_bytes),
+            "keypair": (keypair_bytes, serialize.groth16_keypair_from_bytes),
+        }[which]
+        rng = random.Random(SEED + len(blob))
+        rejected = 0
+        for mutant in mutants(rng, blob, 200):
+            if mutant == blob:
+                continue
+            if not assert_parse_clean(parse, mutant):
+                rejected += 1
+        # group-element and length checks must actually bite: the vast
+        # majority of random corruptions cannot round-trip
+        assert rejected > 100
+
+
+class TestVerifierArtifactFuzz:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 2, 2, backend="groth16", registry=registry, keystore=keystore
+        )
+        bundle = prover.prove(*rand_mats(2, 2, 2, seed=12))
+        return prover.export_verifier(), bundle.to_bytes()
+
+    def test_artifact_mutants_never_accept_silently(self, artifact):
+        """A corrupted verifier artifact either fails to reconstruct
+        (ValueError) or reconstructs into a verifier that rejects the
+        genuine bundle — it must never 'verify' with a damaged key."""
+        blob, bundle_bytes = artifact
+        rng = random.Random(SEED + len(blob))
+        checked = 0
+        for mutant in mutants(rng, blob, 120):
+            if mutant == blob:
+                continue
+            try:
+                verifier = MatmulVerifier.from_bytes(
+                    mutant, registry=CircuitRegistry()
+                )
+            except ValueError:
+                continue
+            # Which random mutants survive reconstruction depends on the
+            # (random) VK bytes, so this branch is opportunistic; the
+            # guaranteed coverage is the targeted test below.
+            if checked < 10:  # pairing checks are the expensive part
+                checked += 1
+                assert verifier.verify_bytes(bundle_bytes) is False
+
+    def test_shape_header_mutants_reject_the_genuine_bundle(self, artifact):
+        """Deterministic targeted corruption: each byte of the shape
+        header yields a verifier for a *different* circuit, which must
+        reject the genuine bundle (never crash, never accept)."""
+        blob, bundle_bytes = artifact
+        shape_off = 4 + len(b"groth16") + 4 + len(b"crpc_psq")
+        for i in range(shape_off, shape_off + 12):
+            mutant = bytearray(blob)
+            mutant[i] ^= 0x01
+            try:
+                verifier = MatmulVerifier.from_bytes(
+                    bytes(mutant), registry=CircuitRegistry()
+                )
+            except ValueError:
+                continue
+            assert verifier.verify_bytes(bundle_bytes) is False
+
+
+class TestJobEnvelopeFuzz:
+    @pytest.fixture(scope="class")
+    def blobs(self):
+        x, w = rand_mats(2, 3, 2, seed=13)
+        jobs_blob = serialize.prove_jobs_to_bytes(
+            [(0, x, w, "crpc_psq", "spartan"), (1, x, w, "crpc_psq", "groth16")]
+        )
+        results_blob = serialize.job_results_to_bytes(
+            [(0, b"some-bundle", 0.5), (1, b"other", 1.5)]
+        )
+        return jobs_blob, results_blob
+
+    @pytest.mark.parametrize("which", ["jobs", "results"])
+    def test_envelope_mutants_parse_cleanly(self, blobs, which):
+        blob, parse = {
+            "jobs": (blobs[0], serialize.prove_jobs_from_bytes),
+            "results": (blobs[1], serialize.job_results_from_bytes),
+        }[which]
+        rng = random.Random(SEED + len(blob))
+        for mutant in mutants(rng, blob, 200):
+            assert_parse_clean(parse, mutant)

@@ -30,7 +30,7 @@ from repro.zkml import (
     synthesize_trace,
 )
 from repro.zkml.compile import CircuitCost
-from repro.zkml.costmodel import measure_rates
+from repro.zkml.costmodel import PrimitiveRates, _best_of, measure_rates
 from repro.gadgets.matmul import STRATEGIES, MatmulCircuit
 
 
@@ -182,15 +182,27 @@ class TestModelAccounting:
             account_model(cfg, ["softmax"])
 
 
+# Frozen primitive rates (rounded from a reference run of
+# ``measure_rates()`` on the baseline machine).  The threshold tests
+# below are about the *model*, not this machine's clock: with synthetic
+# rates they are exactly reproducible on any CI runner, where the old
+# wall-clock calibration made the predicted CRPC ratio jitter with cache
+# and scheduler state.
+REFERENCE_RATES = PrimitiveRates(
+    g1_mul_s=1.3e-3,
+    g1_msm_per_point_s=3.2e-4,
+    g2_mul_s=9.5e-3,
+    field_mul_s=4.4e-7,
+    ntt_per_elem_s=7.3e-6,
+    pairing_s=0.40,
+    g1_fixed_msm_per_point_s=1.5e-4,
+)
+
+
 class TestCostModel:
     @pytest.fixture(scope="class")
     def model(self):
-        return CostModel()
-
-    def test_rates_positive(self, model):
-        r = model.rates
-        assert r.g1_mul_s > 0 and r.field_mul_s > 0 and r.pairing_s > 0
-        assert r.g1_msm_per_point_s < r.g1_mul_s  # MSM amortises
+        return CostModel(rates=REFERENCE_RATES)
 
     def test_prove_time_monotone_in_size(self, model):
         small = matmul_cost(4, 8, 4, "vanilla")
@@ -206,10 +218,8 @@ class TestCostModel:
         a, n, b = 32, 64, 32
         vanilla = model.groth16_prove_time(matmul_cost(a, n, b, "vanilla"))
         zkvc = model.groth16_prove_time(matmul_cost(a, n, b, "crpc_psq"))
-        # Paper: 9-12x at full scale.  The predicted ratio depends on the
-        # machine's measured primitive rates and sits around 3.9-4.4 here
-        # depending on cache/clock state at calibration time; 3.5 asserts
-        # the substantial-speedup claim without straddling that jitter.
+        # Paper: 9-12x at full scale; at this size the model predicts ~4x
+        # (deterministic under the frozen reference rates).
         assert vanilla / zkvc > 3.5
 
     def test_crpc_speedup_grows_with_size(self, model):
@@ -230,8 +240,29 @@ class TestCostModel:
         assert model.groth16_proof_size() == 256
         assert model.spartan_proof_size(matmul_cost(4, 8, 4, "crpc_psq")) > 256
 
+
+class TestMeasuredRates:
+    """The only tests that touch the wall clock — kept to generous,
+    machine-independent bounds (positivity and a structural ordering that
+    holds on any hardware)."""
+
+    def test_rates_positive_and_msm_amortises(self):
+        r = measure_rates()
+        assert r.g1_mul_s > 0 and r.field_mul_s > 0 and r.pairing_s > 0
+        assert r.g1_msm_per_point_s < r.g1_mul_s  # MSM amortises
+
     def test_rates_cached(self):
         assert measure_rates() is measure_rates()
+
+    def test_best_of_takes_minimum_under_fake_counter(self):
+        """Min-of-repeats logic, driven by a deterministic monotonic
+        counter instead of the wall clock.  ``_best_of`` reads the timer
+        twice per run; with run durations of 5, 1, and 3 ticks the
+        minimum (1) must win — noise is one-sided, so min is the stable
+        estimator."""
+        # (t0, t1) per run: durations 5, 1, 3
+        times = iter([0, 5, 10, 11, 20, 23])
+        assert _best_of(lambda: None, repeats=3, timer=lambda: next(times)) == 1
 
 
 class TestPlanner:

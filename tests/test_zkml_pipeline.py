@@ -39,6 +39,7 @@ def train_mixer(mixer, data, layers=2, dim=48, epochs=10):
     return model
 
 
+@pytest.mark.slow
 class TestCodesignPipeline:
     def test_poly_finetune_recovers_accuracy(self, vision_data):
         model = train_mixer("softmax", vision_data)
@@ -76,6 +77,7 @@ class TestCodesignPipeline:
         assert h_acc > p_acc
 
 
+@pytest.mark.slow
 class TestNlpOrdering:
     def test_sst2_learnable_by_both_mixers(self):
         """Both mixer families must learn the SST-2 stand-in well.
