@@ -1,6 +1,6 @@
 """Prover hot-path microbenchmarks -> BENCH_prover.json.
 
-Times the three dominant prover kernels on this machine:
+Times the dominant prover kernels on this machine:
 
 * **MSM** over G1 for sizes 2^8..2^14 — the new batch-affine Pippenger and
   a warm fixed-base table, plus (at small sizes) the pre-PR-style Jacobian
@@ -8,7 +8,12 @@ Times the three dominant prover kernels on this machine:
 * **sumcheck** proving for table sizes 2^10..2^16 — the specialized
   ``prod2`` kernel and the naive reference prover;
 * **Hyrax commit** at 2^10 / 2^12 — the batched fixed-base path versus
-  per-row generic MSMs.
+  per-row generic MSMs;
+* **NTT** for sizes 2^8..2^14 — the planned (cached-twiddle) transform and
+  the batched ``ntt_many`` path versus the naive serial-twiddle loop;
+* **Groth16 quotient** (``_compute_h``) for domain sizes 2^8..2^10 — the
+  same-size-coset planned pipeline over flat R1CS kernels versus the seed
+  doubled-domain reference.
 
 Every entry records ops/sec (points/sec for MSM, table-elements/sec for
 sumcheck, vector-elements/sec for commits), so future PRs have a perf
@@ -38,7 +43,10 @@ sys.path.insert(
 from repro.curve.bn254 import CURVE_ORDER, g1_generator, multiply  # noqa: E402
 from repro.curve.fixed_base import FixedBaseMSM  # noqa: E402
 from repro.curve.msm import _msm_jacobian, msm  # noqa: E402
+from repro.field.ntt import naive_ntt, ntt, ntt_many  # noqa: E402
 from repro.field.prime_field import BN254_FR_MODULUS  # noqa: E402
+from repro.groth16.prove import _compute_h, _compute_h_reference  # noqa: E402
+from repro.r1cs.system import R1CSInstance  # noqa: E402
 from repro.spartan.commitment import HyraxProver, generator_fixed_base  # noqa: E402
 from repro.spartan.sumcheck import (  # noqa: E402
     sumcheck_prove,
@@ -53,10 +61,14 @@ DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_pr
 MSM_SIZES = [1 << k for k in range(8, 15)]       # 2^8 .. 2^14
 SUMCHECK_SIZES = [1 << k for k in range(10, 17)]  # 2^10 .. 2^16
 HYRAX_SIZES = [1 << 10, 1 << 12]
+NTT_SIZES = [1 << k for k in range(8, 15)]        # 2^8 .. 2^14
+QUOTIENT_SIZES = [1 << 8, 1 << 9, 1 << 10]        # Groth16 domain sizes
+NTT_BATCH = 4  # vectors per ntt_many call (mirrors the quotient pipeline)
 # Above this size the pre-PR-style Jacobian reference gets too slow to time
 # on every run; the fast paths still cover the full range.
 NAIVE_MSM_LIMIT = 1 << 12
 NAIVE_HYRAX_LIMIT = 1 << 12
+NAIVE_NTT_LIMIT = 1 << 13
 
 
 def _timed(fn: Callable[[], object], min_repeats: int = 1) -> float:
@@ -157,6 +169,72 @@ def bench_hyrax(
     return out
 
 
+def bench_ntt(sizes=NTT_SIZES, repeats: int = 1) -> Dict[str, Dict[str, float]]:
+    rng = random.Random(0xD0FF)
+    out: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        vec = [rng.randrange(R) for _ in range(n)]
+        rows = [
+            [rng.randrange(R) for _ in range(n)] for _ in range(NTT_BATCH)
+        ]
+        ntt(vec)  # plan + stage build is a one-time cost; time the warm path
+        entry: Dict[str, float] = {}
+        entry["fast_ops_per_sec"] = n / _timed(lambda: ntt(vec), repeats)
+        entry["batched_ops_per_sec"] = (NTT_BATCH * n) / _timed(
+            lambda: ntt_many(rows), repeats
+        )
+        if n <= NAIVE_NTT_LIMIT:
+            entry["naive_ops_per_sec"] = n / _timed(
+                lambda: naive_ntt(vec), repeats
+            )
+        out[str(n)] = entry
+    return out
+
+
+def _quotient_fixture(domain_size: int, terms_per_row: int = 3):
+    """A synthetic R1CS instance filling the whole domain (satisfaction is
+    irrelevant for timing the quotient transforms)."""
+    rng = random.Random(0xABCD ^ domain_size)
+    num_wires = domain_size
+
+    def rows():
+        return [
+            [
+                (rng.randrange(num_wires), rng.randrange(1, R))
+                for _ in range(terms_per_row)
+            ]
+            for _ in range(domain_size)
+        ]
+
+    instance = R1CSInstance(
+        num_wires=num_wires,
+        num_public=1,
+        a_rows=rows(),
+        b_rows=rows(),
+        c_rows=rows(),
+    )
+    assignment = [rng.randrange(R) for _ in range(num_wires)]
+    return instance, assignment
+
+
+def bench_quotient(
+    sizes=QUOTIENT_SIZES, repeats: int = 1
+) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        instance, assignment = _quotient_fixture(n)
+        _compute_h(instance, assignment, n)  # warm plan/context/flat caches
+        entry: Dict[str, float] = {}
+        entry["fast_ops_per_sec"] = n / _timed(
+            lambda: _compute_h(instance, assignment, n), repeats
+        )
+        entry["naive_ops_per_sec"] = n / _timed(
+            lambda: _compute_h_reference(instance, assignment, n), repeats
+        )
+        out[str(n)] = entry
+    return out
+
+
 def merge_baseline(path: str, results: Dict[str, object]) -> Dict[str, object]:
     """Merge ``results`` into the shared baseline file per *entry*: other
     scripts' sections survive untouched, and a --quick run updates only
@@ -181,6 +259,8 @@ def run_benchmarks(repeats: int = 1, quick: bool = False) -> Dict[str, object]:
     msm_sizes = MSM_SIZES[:4] if quick else MSM_SIZES
     sc_sizes = SUMCHECK_SIZES[:4] if quick else SUMCHECK_SIZES
     hyrax_sizes = HYRAX_SIZES[:1] if quick else HYRAX_SIZES
+    ntt_sizes = NTT_SIZES[:4] if quick else NTT_SIZES
+    quotient_sizes = QUOTIENT_SIZES[:1] if quick else QUOTIENT_SIZES
     return {
         "meta": {
             "python": platform.python_version(),
@@ -190,6 +270,8 @@ def run_benchmarks(repeats: int = 1, quick: bool = False) -> Dict[str, object]:
         "msm": bench_msm(msm_sizes, repeats),
         "sumcheck": bench_sumcheck(sc_sizes, repeats),
         "hyrax_commit": bench_hyrax(hyrax_sizes, repeats),
+        "ntt": bench_ntt(ntt_sizes, repeats),
+        "groth16_quotient": bench_quotient(quotient_sizes, repeats),
     }
 
 
@@ -204,7 +286,7 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     results = run_benchmarks(repeats=args.repeats, quick=args.quick)
     merge_baseline(args.out, results)
-    for section in ("msm", "sumcheck", "hyrax_commit"):
+    for section in ("msm", "sumcheck", "hyrax_commit", "ntt", "groth16_quotient"):
         print(f"[{section}]")
         for size, entry in sorted(
             results[section].items(), key=lambda kv: int(kv[0])

@@ -31,15 +31,25 @@ from bench_prover_hotpaths import DEFAULT_OUT, run_benchmarks  # noqa: E402
 # ``process_ops_per_sec`` (service section) gates the process-pool
 # executor: committed on a single-core machine where it sits at thread
 # parity, so any multi-core runner only ever beats it.
+# ``batched_ops_per_sec`` (ntt section) gates the shared-plan ``ntt_many``
+# path that the Groth16 quotient pipeline rides.
 _GATED_METRICS = (
     "fast_ops_per_sec",
     "fixed_base_ops_per_sec",
     "process_ops_per_sec",
+    "batched_ops_per_sec",
 )
 
 
 def _paired_metrics(baseline: dict, fresh: dict):
-    for section in ("msm", "sumcheck", "hyrax_commit", "service"):
+    for section in (
+        "msm",
+        "sumcheck",
+        "hyrax_commit",
+        "ntt",
+        "groth16_quotient",
+        "service",
+    ):
         base_sec = baseline.get(section, {})
         fresh_sec = fresh.get(section, {})
         for size, fresh_entry in fresh_sec.items():

@@ -243,6 +243,7 @@ class Groth16Backend(ProofBackend):
         )
 
         pk = artifacts.keypair.pk
+        fp = pk.fingerprint()
         budget = _CACHE_TABLE_POINT_LIMIT
         for label, points in (
             ("groth16-a", pk.a_query),
@@ -253,7 +254,7 @@ class Groth16Backend(ProofBackend):
             if len(points) > budget:
                 continue  # promote-on-reuse decides for the oversized rest
             budget -= len(points)
-            prewarm_fixed_base((label, id(pk)), points)
+            prewarm_fixed_base((label, fp), points)
 
 
 # -- Spartan -------------------------------------------------------------------

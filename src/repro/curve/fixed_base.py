@@ -216,10 +216,21 @@ _CACHE_TABLE_POINT_LIMIT = 1 << 14
 
 def _cache_entry_for(label: object, points: Sequence[AffinePoint]) -> _CacheEntry:
     """Find-or-create the cache entry for ``label``, enforcing the
-    points-identity reset, back-of-dict LRU reinsertion, and size bound —
-    the one place those invariants live."""
+    points-identity/content reset, back-of-dict LRU reinsertion, and size
+    bound — the one place those invariants live."""
     entry = _FIXED_BASE_CACHE.pop(label, None)
-    if entry is None or entry.points is not points:
+    if entry is not None and entry.points is not points:
+        # Identity miss: fall back to a content check so a rehydrated copy
+        # of the same base vector (a proving key reloaded from disk under
+        # its stable fingerprint label) keeps its promoted table.  Rebind
+        # to the new list so subsequent calls take the identity fast path.
+        if len(entry.points) == len(points) and all(
+            a == b for a, b in zip(entry.points, points)
+        ):
+            entry.points = points
+        else:
+            entry = None
+    if entry is None:
         entry = _CacheEntry(points)
     # Re-insert at the back: LRU order, so hot labels survive eviction.
     _FIXED_BASE_CACHE[label] = entry
@@ -239,8 +250,10 @@ def fixed_base_msm(
     The first call under a given ``label`` runs the generic Pippenger MSM;
     once the same base vector shows up ``build_after`` times, window tables
     are built and every later call skips all doublings.  The cache holds a
-    reference to ``points``, so the identity check can never be confused by
-    id reuse; a label rebound to a different vector simply resets its entry.
+    reference to ``points`` and checks identity first, falling back to a
+    one-time content comparison (after which the entry rebinds to the new
+    list) — so a content-equal rehydrated vector keeps its tables, while a
+    label rebound to a genuinely different vector resets its entry.
     """
     entry = _cache_entry_for(label, points)
     entry.hits += 1

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -46,6 +47,43 @@ class ProvingKey:
         )
         count_g2 = 2 + sum(p is not None for p in self.b_g2_query)
         return count_g1 * 64 + count_g2 * 128
+
+    def fingerprint(self) -> bytes:
+        """Stable 16-byte digest of the key material.
+
+        Unlike ``id(pk)``, the fingerprint survives serialisation round
+        trips — a proving key rehydrated from the KeyStore in a pool
+        worker fingerprints identically to the original — so it is the
+        right cache label for the fixed-base window tables.  Hashing
+        every query point would cost more than a small MSM, so the digest
+        covers the shape counts, the per-key random CRS elements
+        (``alpha``/``beta``/``delta``, unique per trusted setup), and the
+        first/last two points of each G1 query; the fixed-base cache
+        additionally content-checks the base vector itself, so a
+        fingerprint collision can never produce a wrong proof.
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            h = hashlib.sha256(b"groth16-pk-fingerprint-v1")
+            for count in (
+                self.num_public,
+                self.domain_size,
+                len(self.a_query),
+                len(self.b_g1_query),
+                len(self.k_query),
+                len(self.h_query),
+            ):
+                h.update(count.to_bytes(8, "big"))
+            for pt in (self.alpha_g1, self.beta_g1, self.delta_g1):
+                h.update(point_to_bytes(pt))
+            for query in (self.a_query, self.b_g1_query, self.k_query, self.h_query):
+                for pt in query[:2]:
+                    h.update(point_to_bytes(pt))
+                for pt in query[-2:]:
+                    h.update(point_to_bytes(pt))
+            fp = h.digest()[:16]
+            self._fingerprint = fp
+        return fp
 
 
 @dataclass

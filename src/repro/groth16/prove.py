@@ -9,16 +9,32 @@ Cost profile (what the zkVC paper optimises):
 
 CRPC shrinks the domain from ``a*b*n`` to ``n``; PSQ empties the A side of
 everything except the actual matrix entries.
+
+The quotient runs on a *same-size* coset: ``deg h <= N - 2``, so ``N``
+evaluations anywhere off the domain determine it, and on the coset
+``g * <omega_N>`` the vanishing polynomial is the constant ``t(g*w^i) =
+g^N - 1``.  That needs 7 transforms of size ``N`` (3 inverse, 3 coset
+forward, 1 coset inverse, batched through one cached plan) versus the
+doubled-domain reference pipeline (retained as
+:func:`_compute_h_reference`), which pays 3 size-``N`` plus 4
+size-``2N`` transforms and a per-point alternating ``t``-inverse.  Both
+compute the *same polynomial*, so proof bytes are identical.
 """
 
 from __future__ import annotations
 
 import secrets
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..curve.bn254 import CURVE_ORDER, add, g1_generator, multiply, neg
 from ..curve.fixed_base import fixed_base_msm
-from ..field.ntt import evaluate_on_coset, interpolate_from_coset, intt, ntt
+from ..field.ntt import (
+    NTTPlan,
+    get_plan,
+    naive_evaluate_on_coset,
+    naive_interpolate_from_coset,
+    naive_ntt,
+)
 from ..field.prime_field import inv_mod
 from ..r1cs.system import R1CSInstance
 from .keys import Proof, ProvingKey
@@ -29,28 +45,93 @@ R = CURVE_ORDER
 COSET_GENERATOR = 7
 
 
+class _QuotientContext:
+    """Everything ``_compute_h`` needs that depends only on the domain size:
+    the shared transform plan (with its coset ladders pre-warmed) and the
+    constant coset ``t``-inverse.  Cached per domain size — every proving
+    key with the same domain shares one context, however it was (re)built.
+    """
+
+    __slots__ = ("plan", "t_inv")
+
+    def __init__(self, domain_size: int):
+        self.plan: NTTPlan = get_plan(domain_size)
+        g = COSET_GENERATOR
+        # t(g*w^i) = g^N * (w^N)^i - 1 = g^N - 1: constant on the coset.
+        self.t_inv = inv_mod(pow(g, domain_size, R) - 1, R)
+        self.plan.coset_ladder(g)
+
+
+_QUOTIENT_CONTEXTS: Dict[int, _QuotientContext] = {}
+
+
+def _quotient_context(domain_size: int) -> _QuotientContext:
+    ctx = _QUOTIENT_CONTEXTS.get(domain_size)
+    # The plan identity check keeps the context honest across
+    # ``clear_ntt_plan_cache()``: a cleared plan cache would otherwise
+    # leave the context pinning a stale plan while ``get_plan`` hands out
+    # a fresh one.
+    if ctx is None or ctx.plan is not get_plan(domain_size):
+        ctx = _QuotientContext(domain_size)
+        _QUOTIENT_CONTEXTS[domain_size] = ctx
+    return ctx
+
+
 def _compute_h(
     instance: R1CSInstance, assignment: Sequence[int], domain_size: int
 ) -> List[int]:
     """Coefficients of ``h(X) = (A(X)B(X) - C(X)) / t(X)``."""
+    ctx = _quotient_context(domain_size)
     az = instance.matvec("A", assignment)
     bz = instance.matvec("B", assignment)
     cz = instance.matvec("C", assignment)
+    pad = domain_size - len(az)
+    if pad:
+        az += [0] * pad
+        bz += [0] * pad
+        cz += [0] * pad
+
+    plan = ctx.plan
+    g = COSET_GENERATOR
+    a_coeffs, b_coeffs, c_coeffs = plan.ntt_many((az, bz, cz), inverse=True)
+    a_ev, b_ev, c_ev = plan.coset_ntt_many((a_coeffs, b_coeffs, c_coeffs), g)
+
+    t_inv = ctx.t_inv
+    h_ev = [
+        (a * b - c) * t_inv % R for a, b, c in zip(a_ev, b_ev, c_ev)
+    ]
+    h_coeffs = plan.coset_intt(h_ev, g)
+    # deg h <= N - 2; the top coefficient must be zero for a satisfied
+    # instance.
+    del h_coeffs[domain_size - 1:]
+    return h_coeffs
+
+
+def _compute_h_reference(
+    instance: R1CSInstance, assignment: Sequence[int], domain_size: int
+) -> List[int]:
+    """The seed quotient pipeline over the doubled domain, kept verbatim
+    (naive transforms, materialised coset shifts, per-call inversions,
+    tuple-unpacking matvecs) as the equivalence-test and benchmark
+    reference for :func:`_compute_h`."""
+    az = instance.naive_matvec("A", assignment)
+    bz = instance.naive_matvec("B", assignment)
+    cz = instance.naive_matvec("C", assignment)
     pad = domain_size - len(az)
     az += [0] * pad
     bz += [0] * pad
     cz += [0] * pad
 
-    a_coeffs = intt(az)
-    b_coeffs = intt(bz)
-    c_coeffs = intt(cz)
+    a_coeffs = naive_ntt(az, inverse=True)
+    b_coeffs = naive_ntt(bz, inverse=True)
+    c_coeffs = naive_ntt(cz, inverse=True)
 
     # Evaluate on a coset of the double-size domain so deg(A*B) fits.
     big = 2 * domain_size
     g = COSET_GENERATOR
-    a_ev = evaluate_on_coset(a_coeffs, big, g)
-    b_ev = evaluate_on_coset(b_coeffs, big, g)
-    c_ev = evaluate_on_coset(c_coeffs, big, g)
+    a_ev = naive_evaluate_on_coset(a_coeffs, big, g)
+    b_ev = naive_evaluate_on_coset(b_coeffs, big, g)
+    c_ev = naive_evaluate_on_coset(c_coeffs, big, g)
 
     # t(g*omega^i) = g^N * omega^(iN) - 1 where omega is the big-domain root;
     # omega^N = -1 for the double domain, so t alternates between g^N-1 and
@@ -62,7 +143,7 @@ def _compute_h(
         (a * b - c) % R * (t0_inv if i % 2 == 0 else t1_inv) % R
         for i, (a, b, c) in enumerate(zip(a_ev, b_ev, c_ev))
     ]
-    h_coeffs = interpolate_from_coset(h_ev, g)
+    h_coeffs = naive_interpolate_from_coset(h_ev, g)
     # deg h <= N - 2; anything above must be zero for a satisfied instance.
     return h_coeffs[: domain_size - 1]
 
@@ -87,12 +168,14 @@ def prove(
     # The query bases are fixed per proving key and reused across proofs,
     # so the four G1 MSMs go through the fixed-base cache: the second proof
     # under the same key builds window tables and every later MSM runs with
-    # no doublings at all.  (Labels carry id(pk) only to spread keys across
-    # cache slots; ids can be recycled after pk is gc'd, and correctness
-    # relies on the cache's own identity check on the points list, which
-    # resets any stale entry.)
+    # no doublings at all.  Labels carry the key's content fingerprint, so
+    # a rehydrated copy of the same key (a pool worker reloading it from
+    # the KeyStore) lands on the same cache slot and keeps the warm
+    # tables; the cache's own content check on the points list resets any
+    # entry whose bases genuinely differ.
+    fp = pk.fingerprint()
     # pi_A = alpha + sum c_i u_i(tau) + r*delta
-    a_acc = fixed_base_msm(("groth16-a", id(pk)), pk.a_query, assignment)
+    a_acc = fixed_base_msm(("groth16-a", fp), pk.a_query, assignment)
     pi_a = add(add(pk.alpha_g1, a_acc), multiply(pk.delta_g1, r))
 
     # pi_B (G2) = beta + sum c_i v_i(tau) + s*delta ; G1 copy for pi_C.
@@ -101,17 +184,15 @@ def prove(
         if point is not None and value % R:
             b_acc_g2 = add(b_acc_g2, multiply(point, value))
     pi_b = add(add(pk.beta_g2, b_acc_g2), multiply(pk.delta_g2, s))
-    b_acc_g1 = fixed_base_msm(
-        ("groth16-b1", id(pk)), pk.b_g1_query, assignment
-    )
+    b_acc_g1 = fixed_base_msm(("groth16-b1", fp), pk.b_g1_query, assignment)
     pi_b_g1 = add(add(pk.beta_g1, b_acc_g1), multiply(pk.delta_g1, s))
 
     # pi_C = K-query MSM + h(tau)t(tau)/delta + s*A + r*B1 - r*s*delta
     witness = list(assignment[pk.num_public:])
-    k_acc = fixed_base_msm(("groth16-k", id(pk)), pk.k_query, witness)
+    k_acc = fixed_base_msm(("groth16-k", fp), pk.k_query, witness)
 
     h_coeffs = _compute_h(instance, assignment, pk.domain_size)
-    h_acc = fixed_base_msm(("groth16-h", id(pk)), pk.h_query, h_coeffs)
+    h_acc = fixed_base_msm(("groth16-h", fp), pk.h_query, h_coeffs)
 
     pi_c = add(k_acc, h_acc)
     pi_c = add(pi_c, multiply(pi_a, s))

@@ -5,10 +5,14 @@ per circuit via module fixtures."""
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.groth16 import prove, setup, verify
-from repro.groth16.prove import _compute_h
+from repro import serialize
+from repro.field.ntt import next_power_of_two
 from repro.field.prime_field import BN254_FR_MODULUS
+from repro.groth16 import prove, setup, verify
+from repro.groth16.prove import _compute_h, _compute_h_reference
 from repro.r1cs import LC, ConstraintSystem
 
 R = BN254_FR_MODULUS
@@ -124,6 +128,133 @@ class TestKeys:
     def test_assignment_length_checked(self, keypair, instance):
         with pytest.raises(ValueError):
             prove(keypair.pk, instance, [1, 2, 3])
+
+
+def _mul_chain_circuit(rng, depth):
+    """A satisfied circuit with ``depth + 1`` multiplication constraints."""
+    cs = ConstraintSystem()
+    x = cs.alloc_public("x", rng.randrange(1, R))
+    cur = cs.mul(LC.from_wire(x), LC.from_wire(x), "sq")
+    for i in range(depth):
+        cur = cs.mul(LC.from_wire(cur), LC.from_wire(x), f"m{i}")
+    return cs
+
+
+def _det_rng(seed=0x5EED):
+    r = random.Random(seed)
+    return lambda: r.getrandbits(256)
+
+
+class TestQuotientEquivalence:
+    """The planned same-size-coset quotient pipeline must compute the exact
+    polynomial the seed doubled-domain reference computes."""
+
+    @given(st.integers(min_value=0, max_value=40), st.integers())
+    @settings(max_examples=10, deadline=None)
+    def test_compute_h_matches_reference(self, depth, seed):
+        rng = random.Random(seed)
+        cs = _mul_chain_circuit(rng, depth)
+        inst = cs.specialize(1)
+        domain = next_power_of_two(inst.num_constraints)
+        assignment = cs.assignment()
+        assert _compute_h(inst, assignment, domain) == _compute_h_reference(
+            inst, assignment, domain
+        )
+
+    def test_reference_on_module_circuit(self, instance, circuit):
+        assert _compute_h(instance, circuit.assignment(), 4) == (
+            _compute_h_reference(instance, circuit.assignment(), 4)
+        )
+
+    def test_context_rebuilds_after_plan_cache_clear(self, instance, circuit):
+        from repro.field.ntt import clear_ntt_plan_cache, get_plan
+        from repro.groth16.prove import _quotient_context
+
+        expected = _compute_h(instance, circuit.assignment(), 4)
+        ctx_before = _quotient_context(4)
+        clear_ntt_plan_cache()
+        # The context must follow the fresh plan, not pin the stale one.
+        ctx_after = _quotient_context(4)
+        assert ctx_after is not ctx_before
+        assert ctx_after.plan is get_plan(4)
+        assert _compute_h(instance, circuit.assignment(), 4) == expected
+
+
+class TestPlannedQuotientProofBytes:
+    def test_byte_identical_fresh_and_rehydrated(
+        self, keypair, instance, circuit, monkeypatch
+    ):
+        """With a fixed blinding rng, proofs must be byte-identical whether
+        h comes from the planned pipeline or the seed reference, and
+        whether the key is the original or a serialisation round trip."""
+        import importlib
+
+        # ``repro.groth16.prove`` the attribute is the re-exported function;
+        # fetch the real module to patch its _compute_h global.
+        prove_mod = importlib.import_module("repro.groth16.prove")
+
+        assignment = circuit.assignment()
+        pf_fast = prove(keypair.pk, instance, assignment, rng=_det_rng())
+        monkeypatch.setattr(
+            prove_mod, "_compute_h", prove_mod._compute_h_reference
+        )
+        pf_ref = prove(keypair.pk, instance, assignment, rng=_det_rng())
+        monkeypatch.undo()
+
+        kp2 = serialize.groth16_keypair_from_bytes(
+            serialize.groth16_keypair_to_bytes(keypair)
+        )
+        pf_re = prove(kp2.pk, instance, assignment, rng=_det_rng())
+
+        assert pf_fast.to_bytes() == pf_ref.to_bytes()
+        assert pf_fast.to_bytes() == pf_re.to_bytes()
+        assert verify(keypair.vk, circuit.public_inputs(), pf_fast)
+
+
+class TestProvingKeyFingerprint:
+    def test_stable_across_rehydration(self, keypair):
+        kp2 = serialize.groth16_keypair_from_bytes(
+            serialize.groth16_keypair_to_bytes(keypair)
+        )
+        assert kp2.pk.fingerprint() == keypair.pk.fingerprint()
+
+    def test_distinct_setups_differ(self, keypair, instance):
+        rng = random.Random(1234)
+        other = setup(instance, rng=lambda: rng.getrandbits(256))
+        assert other.pk.fingerprint() != keypair.pk.fingerprint()
+
+    def test_fingerprint_cached(self, keypair):
+        assert keypair.pk.fingerprint() is keypair.pk.fingerprint()
+
+    def test_warm_tables_survive_rehydration(self, keypair, instance, circuit):
+        """A rehydrated key lands on the same fixed-base cache slot (stable
+        fingerprint label) and keeps the promoted window tables."""
+        from repro.curve.fixed_base import (
+            _FIXED_BASE_CACHE,
+            clear_fixed_base_cache,
+        )
+
+        clear_fixed_base_cache()
+        try:
+            assignment = circuit.assignment()
+            for _ in range(2):  # second sighting promotes to tables
+                prove(keypair.pk, instance, assignment)
+            label = ("groth16-a", keypair.pk.fingerprint())
+            entry = _FIXED_BASE_CACHE[label]
+            assert entry.table is not None
+            table = entry.table
+
+            kp2 = serialize.groth16_keypair_from_bytes(
+                serialize.groth16_keypair_to_bytes(keypair)
+            )
+            pf = prove(kp2.pk, instance, assignment)
+            after = _FIXED_BASE_CACHE[label]
+            assert after is entry and after.table is table
+            # Rebound to the rehydrated list: identity fast path from now on.
+            assert after.points is kp2.pk.a_query
+            assert verify(keypair.vk, circuit.public_inputs(), pf)
+        finally:
+            clear_fixed_base_cache()
 
 
 class TestPackedCircuitGroth16:

@@ -1,17 +1,25 @@
 """NTT roundtrip / convolution tests."""
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import random
+
 from repro.field.ntt import (
+    NTTPlan,
     coset_shift,
     evaluate_on_coset,
+    get_plan,
     interpolate_from_coset,
     intt,
     mul_polys_ntt,
+    naive_evaluate_on_coset,
+    naive_interpolate_from_coset,
+    naive_ntt,
     next_power_of_two,
     ntt,
+    ntt_many,
 )
 from repro.field.prime_field import BN254_FR_MODULUS, fr_root_of_unity
 
@@ -85,6 +93,110 @@ class TestCoset:
 
     def test_coset_shift_identity(self):
         assert coset_shift([1, 2, 3], 1) == [1, 2, 3]
+
+
+class TestPlannedAgainstNaive:
+    """The cached-plan transforms must agree with the retained naive
+    reference everywhere — random vectors across sizes 2^1..2^12."""
+
+    @given(st.integers(min_value=1, max_value=12), st.integers())
+    @settings(max_examples=20, deadline=None)
+    def test_planned_matches_naive(self, log_n, seed):
+        rng = random.Random(seed)
+        n = 1 << log_n
+        vec = [rng.randrange(R) for _ in range(n)]
+        assert ntt(vec) == naive_ntt(vec)
+        assert ntt(vec, inverse=True) == naive_ntt(vec, inverse=True)
+
+    @given(st.integers(min_value=1, max_value=10), st.integers())
+    @settings(max_examples=20, deadline=None)
+    def test_fused_coset_matches_naive(self, log_n, seed):
+        rng = random.Random(seed)
+        n = 1 << log_n
+        g = rng.randrange(2, R)
+        coeffs = [rng.randrange(R) for _ in range(rng.randrange(1, n + 1))]
+        evals = [rng.randrange(R) for _ in range(n)]
+        assert evaluate_on_coset(coeffs, n, g) == naive_evaluate_on_coset(
+            coeffs, n, g
+        )
+        assert interpolate_from_coset(evals, g) == naive_interpolate_from_coset(
+            evals, g
+        )
+
+    def test_input_not_mutated_and_reduced(self):
+        vec = [R + 3, -1, 5, 0]
+        snapshot = list(vec)
+        out = ntt(vec)
+        assert vec == snapshot
+        assert out == naive_ntt(vec)
+        assert all(0 <= v < R for v in out)
+
+    def test_plan_rejects_wrong_length(self):
+        plan = get_plan(8)
+        with pytest.raises(ValueError):
+            plan.ntt([1, 2, 3, 4])
+        with pytest.raises(ValueError):
+            plan.coset_intt([1, 2, 3, 4], 7)
+        with pytest.raises(ValueError):
+            NTTPlan(12)
+
+    def test_plan_cache_shared(self):
+        assert get_plan(16) is get_plan(16)
+
+    def test_ladder_cache_bounded(self):
+        plan = NTTPlan(8)
+        for g in range(2, 2 + 3 * NTTPlan._LADDER_LIMIT):
+            plan.coset_ladder(g)
+        assert len(plan._ladders) == NTTPlan._LADDER_LIMIT
+        # Evicted generators still recompute correctly.
+        coeffs = list(range(1, 9))
+        assert plan.coset_ntt(coeffs, 2) == naive_evaluate_on_coset(
+            coeffs, 8, 2
+        )
+
+
+class TestNttMany:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=5),
+        st.integers(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_batched_matches_single(self, log_n, rows, seed):
+        rng = random.Random(seed)
+        n = 1 << log_n
+        vecs = [[rng.randrange(R) for _ in range(n)] for _ in range(rows)]
+        assert ntt_many(vecs) == [ntt(v) for v in vecs]
+        assert ntt_many(vecs, inverse=True) == [intt(v) for v in vecs]
+        plan = get_plan(n)
+        assert plan.coset_ntt_many(vecs, 7) == [
+            evaluate_on_coset(v, n, 7) for v in vecs
+        ]
+
+    def test_empty(self):
+        assert ntt_many([]) == []
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ntt_many([[1, 2, 3]])
+
+
+class TestCosetSizeValidation:
+    def test_undersized_domain_rejected(self):
+        # Regression: ``size`` smaller than the polynomial used to slip
+        # through as a silently wrong-length transform.
+        with pytest.raises(ValueError):
+            evaluate_on_coset([1, 2, 3, 4, 5], 4, 7)
+
+    def test_non_power_of_two_domain_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_on_coset([1, 2], 3, 7)
+
+    def test_exact_fit_still_works(self):
+        coeffs = [1, 2, 3, 4]
+        assert evaluate_on_coset(coeffs, 4, 7) == naive_evaluate_on_coset(
+            coeffs, 4, 7
+        )
 
 
 class TestNextPowerOfTwo:

@@ -1,14 +1,36 @@
 """Constraint-system builder, linear combinations, and specialisation."""
 
+import random
+
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.field.prime_field import BN254_FR_MODULUS
 from repro.r1cs import LC, ConstraintSystem, derive_z
+from repro.r1cs.system import FlatR1CS, R1CSInstance
 
 R = BN254_FR_MODULUS
 elems = st.integers(min_value=0, max_value=R - 1)
+
+
+def _random_instance(rng, num_constraints, num_wires, max_terms=4):
+    def rows():
+        return [
+            [
+                (rng.randrange(num_wires), rng.randrange(R))
+                for _ in range(rng.randrange(max_terms + 1))
+            ]
+            for _ in range(num_constraints)
+        ]
+
+    return R1CSInstance(
+        num_wires=num_wires,
+        num_public=1,
+        a_rows=rows(),
+        b_rows=rows(),
+        c_rows=rows(),
+    )
 
 
 class TestLinearCombination:
@@ -188,6 +210,94 @@ class TestConstraintSystem:
         inst = cs.specialize(1)
         with pytest.raises(ValueError):
             inst.is_satisfied([1])
+
+
+class TestFlatR1CS:
+    """The CSR-flattened kernels must agree with the tuple-unpacking
+    reference on random instances — sizes up to 2^12 nonzeros."""
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matvec_matches_naive(self, log_n, seed):
+        rng = random.Random(seed)
+        n = 1 << log_n
+        inst = _random_instance(rng, n, max(2, n))
+        assignment = [rng.randrange(R) for _ in range(inst.num_wires)]
+        for which in "ABC":
+            assert inst.matvec(which, assignment) == inst.naive_matvec(
+                which, assignment
+            )
+
+    @given(st.integers())
+    @settings(max_examples=15, deadline=None)
+    def test_eval_products_matches_rows(self, seed):
+        rng = random.Random(seed)
+        inst = _random_instance(rng, 16, 8)
+        assignment = [rng.randrange(R) for _ in range(inst.num_wires)]
+        expected = [
+            (
+                inst._row_dot(ra, assignment),
+                inst._row_dot(rb, assignment),
+                inst._row_dot(rc, assignment),
+            )
+            for ra, rb, rc in zip(inst.a_rows, inst.b_rows, inst.c_rows)
+        ]
+        assert list(inst.eval_products(assignment)) == expected
+
+    def test_flat_layout(self):
+        flat = FlatR1CS([[(0, 2), (3, 5)], [], [(1, R + 7)]])
+        assert flat.num_rows == 3
+        assert flat.row_ptr == [0, 2, 2, 3]
+        assert flat.wires == [0, 3, 1]
+        assert flat.coeffs == [2, 5, 7]  # reduced at build time
+        assert flat.matvec([1, 2, 3, 4]) == [22, 0, 14]
+
+    def test_flat_cache_reused(self):
+        rng = random.Random(3)
+        inst = _random_instance(rng, 4, 4)
+        assert inst.flat("A") is inst.flat("A")
+        assert inst.flat("A") is not inst.flat("B")
+
+    def test_invalidate_flat_cache_after_mutation(self):
+        inst = R1CSInstance(
+            num_wires=2,
+            num_public=1,
+            a_rows=[[(1, 1)]],
+            b_rows=[[(1, 1)]],
+            c_rows=[[(1, 1)]],
+        )
+        assert inst.matvec("A", [1, 5]) == [5]
+        inst.a_rows[0].append((0, 2))
+        inst.invalidate_flat_cache()
+        assert inst.matvec("A", [1, 5]) == [7]
+
+    def test_is_satisfied_via_flat_kernels(self):
+        # x * x = w  with x = 2, w = 4.
+        inst = R1CSInstance(
+            num_wires=3,
+            num_public=2,
+            a_rows=[[(1, 1)]],
+            b_rows=[[(1, 1)]],
+            c_rows=[[(2, 1)]],
+        )
+        assert inst.is_satisfied([1, 2, 4])
+        assert not inst.is_satisfied([1, 2, 5])
+
+    def test_negative_coefficients_match(self):
+        inst = R1CSInstance(
+            num_wires=2,
+            num_public=1,
+            a_rows=[[(0, -3), (1, R - 1)]],
+            b_rows=[[(1, 1)]],
+            c_rows=[[]],
+        )
+        assignment = [1, 5]
+        assert inst.matvec("A", assignment) == inst.naive_matvec(
+            "A", assignment
+        )
 
 
 class TestDeriveZ:
