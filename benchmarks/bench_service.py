@@ -123,6 +123,78 @@ def _bench_service_process(jobs) -> float:
     return elapsed
 
 
+def run_overhead_check(
+    threshold: float = 0.05,
+    repeats: int = 5,
+    n_jobs: int = 40,
+    slack_seconds: float = 0.05,
+):
+    """Price the resilience layer on the fault-free path.
+
+    Serves the identical batch twice — once under the default
+    :class:`~repro.core.resilience.RetryPolicy` (retries, leases,
+    bisection armed) and once under ``BARE_POLICY`` (the pre-resilience
+    configuration: single dispatch, no deadline) — and requires the
+    resilient run to stay within ``threshold`` (default 5%) of the bare
+    run, plus a small absolute ``slack_seconds`` so scheduler noise on a
+    busy runner cannot fail the gate on its own.  The comparison is
+    *self-relative* (same machine, same run), so it is not part of the
+    committed cross-machine baseline.
+
+    Returns ``(ok, rows)`` where each row is
+    ``(label, bare_seconds, resilient_seconds, overhead_fraction)``.
+    """
+    from repro.core import BARE_POLICY, RetryPolicy
+
+    rng = random.Random(0xFA57)
+
+    def serve(policy, executor, jobs, workers=1):
+        registry = CircuitRegistry()
+        with tempfile.TemporaryDirectory(prefix="bench-overhead-") as root:
+            keystore = KeyStore(root=root, registry=registry)
+            service = ProvingService(
+                workers=workers,
+                registry=registry,
+                keystore=keystore,
+                executor=executor,
+                retry_policy=policy,
+                chunk_policy=GroupChunkPolicy(
+                    workers=workers, min_dispatch_seconds=0.0
+                ),
+            )
+            t0 = time.perf_counter()
+            for a, n, b, x, w in jobs:
+                # spartan: transparent setup keeps the measured path the
+                # serving loop itself, not one-off key generation
+                service.submit(x, w, backend="spartan")
+            report = service.run(verify=True)
+            elapsed = time.perf_counter() - t0
+            service.close()
+            assert report.verified, (report.errors, report.invalid_jobs)
+            assert len(report.results) == len(jobs)
+        return elapsed
+
+    cases = [
+        ("inline", "serial", n_jobs, 1, repeats),
+        ("process", "process", max(4, n_jobs // 4), PROCESS_WORKERS, max(2, repeats // 2)),
+    ]
+    rows = []
+    ok = True
+    for label, executor, count, workers, reps in cases:
+        jobs = [(2, 4, 2, *rand_mats(rng, 2, 4, 2)) for _ in range(count)]
+        bare = min(
+            serve(BARE_POLICY, executor, jobs, workers) for _ in range(reps)
+        )
+        resilient = min(
+            serve(RetryPolicy(), executor, jobs, workers) for _ in range(reps)
+        )
+        overhead = resilient / bare - 1.0
+        rows.append((label, bare, resilient, overhead))
+        if resilient > bare * (1.0 + threshold) + slack_seconds:
+            ok = False
+    return ok, rows
+
+
 def run_service_bench(quick: bool = False, repeats: int = 1) -> Dict[str, Dict[str, float]]:
     rng = random.Random(0xD15C)
     out: Dict[str, Dict[str, float]] = {}
@@ -145,7 +217,27 @@ def main(argv=None) -> int:
     ap.add_argument("--out", default=DEFAULT_OUT)
     ap.add_argument("--repeats", type=int, default=1)
     ap.add_argument("--quick", action="store_true", help="small case only")
+    ap.add_argument(
+        "--overhead",
+        action="store_true",
+        help="only run the resilience-overhead gate (fault-free path "
+        "must stay within 5%% of the bare, pre-resilience policy)",
+    )
     args = ap.parse_args(argv)
+
+    if args.overhead:
+        ok, rows = run_overhead_check()
+        print("[service overhead: resilient vs bare policy]")
+        for label, bare, resilient, overhead in rows:
+            print(
+                f"  {label}: bare {bare:.3f}s, resilient {resilient:.3f}s "
+                f"({overhead:+.1%})"
+            )
+        if not ok:
+            print("RESILIENCE OVERHEAD REGRESSION (fault-free path > 5%)")
+            return 1
+        print("overhead OK")
+        return 0
 
     results = run_service_bench(quick=args.quick, repeats=args.repeats)
     merge_baseline(args.out, {"service": results})

@@ -123,9 +123,21 @@ def main(argv=None) -> int:
     # Best-of-3 timing: single-shot numbers jitter more than the 25% gate.
     fresh = run_benchmarks(repeats=3, quick=not args.full)
     if args.service:
-        from bench_service import run_service_bench
+        from bench_service import run_overhead_check, run_service_bench
 
         fresh["service"] = run_service_bench(quick=not args.full, repeats=2)
+        # Self-relative gate (same machine, same run): the resilience
+        # layer must stay ~free on the fault-free path.  Not merged into
+        # the committed baseline — it prices the layer, not the machine.
+        overhead_ok, overhead_rows = run_overhead_check()
+        for label, bare, resilient, overhead in overhead_rows:
+            print(
+                f"resilience overhead [{label}]: bare {bare:.3f}s, "
+                f"resilient {resilient:.3f}s ({overhead:+.1%})"
+            )
+        if not overhead_ok:
+            print("RESILIENCE OVERHEAD REGRESSION (fault-free path > 5%)")
+            return 1
     factor = machine_factor(baseline, fresh)
     if abs(factor - 1.0) > 0.15:
         print(

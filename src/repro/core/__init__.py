@@ -22,6 +22,17 @@ from .backends import (
     get_backend,
     register_backend,
 )
+from .errors import (
+    ChunkTimeout,
+    CorruptEnvelope,
+    MissingKey,
+    PoisonJob,
+    ProvingError,
+    WorkerCrash,
+    wrap_error,
+)
+from .faultinject import FaultPlan, FaultSpec
+from .resilience import BARE_POLICY, ChunkLease, RetryPolicy
 from .crpc import (
     ConstraintTheory,
     crpc_identity_holds,
@@ -32,19 +43,38 @@ from .crpc import (
 )
 from .pool import GroupChunkPolicy, PoolOutcome, ProcessProvingExecutor
 from .psq import LeftWireReport, left_wire_report, prefix_sums, psq_reduction_factor
-from .service import EXECUTORS, JobResult, ProveJob, ProvingService, ServiceReport
+from .service import (
+    EXECUTORS,
+    JobOutcome,
+    JobResult,
+    ProveJob,
+    ProvingService,
+    ServiceReport,
+)
 
 __all__ = [
     "BACKENDS",
+    "BARE_POLICY",
+    "ChunkLease",
+    "ChunkTimeout",
     "CircuitRegistry",
     "ConstraintTheory",
+    "CorruptEnvelope",
     "EXECUTORS",
+    "FaultPlan",
+    "FaultSpec",
     "GroupChunkPolicy",
+    "JobOutcome",
     "JobResult",
     "KeyStore",
     "LeftWireReport",
+    "MissingKey",
+    "PoisonJob",
     "PoolOutcome",
     "ProcessProvingExecutor",
+    "ProvingError",
+    "RetryPolicy",
+    "WorkerCrash",
     "MatmulProofBundle",
     "MatmulProver",
     "MatmulVerifier",
@@ -68,4 +98,5 @@ __all__ = [
     "set_default_keystore",
     "theory_counts",
     "verify_matmul",
+    "wrap_error",
 ]

@@ -373,12 +373,23 @@ def prove_jobs_to_wire(
     list of ``(job_id, bundle_bytes, prove_seconds)`` — exactly the
     payload of :func:`repro.serialize.job_results_to_bytes`, so a pool
     worker's results cross the process boundary as plain bytes.
+
+    A Python-level failure while proving one job raises a typed
+    :class:`~repro.core.errors.ProvingError` *tagged with that job's id*
+    (pickle-safe, so it survives the process boundary): the dispatching
+    executor can then quarantine the culprit directly and re-dispatch the
+    rest of the chunk instead of bisecting blind.
     """
+    from .errors import wrap_error
+
     backend = get_backend(backend_name)
     out = []
     for job_id, x_mat, w_mat in jobs:
         t0 = time.perf_counter()
-        bundle = backend.prove(circuit, artifacts, x_mat, w_mat, rng)
+        try:
+            bundle = backend.prove(circuit, artifacts, x_mat, w_mat, rng)
+        except Exception as exc:  # noqa: BLE001 — typed + attributed
+            raise wrap_error(exc, job_id=job_id) from exc
         out.append((job_id, bundle.to_bytes(), time.perf_counter() - t0))
     return out
 

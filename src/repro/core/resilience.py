@@ -1,0 +1,148 @@
+"""Retry, backoff, and lease policy for the proving pipeline.
+
+:class:`RetryPolicy` is the one configuration object the fault-tolerant
+serving stack reads: how many times a failed chunk is re-dispatched, how
+long to back off between attempts (exponential, with *deterministic*
+seeded jitter so tests replay exactly), which error classes are worth
+retrying at all (delegated to the taxonomy in
+:mod:`repro.core.errors`), how chunk lease deadlines are derived from the
+cost model's per-job estimates, and when a persistently failing executor
+tier should be abandoned for the next rung of the degradation ladder.
+
+:class:`ChunkLease` is the per-chunk deadline record the process executor
+keeps while futures are in flight: issued at dispatch, checked against a
+monotonic clock, expired leases trigger pool teardown and re-dispatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import ProvingError
+
+
+@dataclass
+class RetryPolicy:
+    """Tunable fault-tolerance parameters (all deterministic).
+
+    ``max_attempts`` counts *dispatches* of one chunk, the first included;
+    ``1`` disables retries entirely.  Backoff for attempt *k* (after the
+    k-th failure) is ``base * multiplier**(k-1)``, capped at
+    ``backoff_max_seconds``, scaled by ``1 + jitter_fraction * u`` where
+    ``u ∈ [0, 1)`` is derived by hashing ``(seed, tag, attempt)`` — the
+    same schedule on every run, but decorrelated across chunks.
+
+    Chunk leases are ``lease_multiplier ×`` the chunk's predicted proving
+    seconds (from :meth:`repro.core.pool.GroupChunkPolicy.job_seconds`),
+    floored at ``lease_floor_seconds``; the generous defaults make a
+    spurious expiry on a slow machine far less likely than a real hang.
+    ``lease_multiplier <= 0`` disables deadlines (the pre-resilience
+    behaviour: wait forever).
+
+    ``bisect`` controls whether a chunk that exhausts its retries with an
+    isolatable error is split to hunt the poison job;
+    ``max_pool_breakages`` is the degradation-ladder trigger: once one
+    service tears down that many broken/hung pools, it stops dispatching
+    to processes and degrades to the thread tier.
+    """
+
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.02
+    backoff_multiplier: float = 2.0
+    backoff_max_seconds: float = 1.0
+    jitter_fraction: float = 0.25
+    seed: int = 0x5EED
+    lease_multiplier: float = 40.0
+    lease_floor_seconds: float = 30.0
+    bisect: bool = True
+    max_pool_breakages: int = 3
+
+    def is_retryable(self, error: ProvingError) -> bool:
+        """Whether the error class permits another dispatch (attempt
+        budget is the caller's concern)."""
+        return bool(error.retryable)
+
+    def backoff_seconds(self, tag, attempt: int) -> float:
+        """Deterministic backoff before dispatch ``attempt + 1`` of
+        ``tag`` (``attempt`` = dispatches already failed, >= 1)."""
+        if self.max_attempts <= 1 or self.backoff_base_seconds <= 0:
+            return 0.0
+        base = self.backoff_base_seconds * (
+            self.backoff_multiplier ** max(0, attempt - 1)
+        )
+        base = min(base, self.backoff_max_seconds)
+        digest = hashlib.sha256(
+            struct.pack(">Q", self.seed & 0xFFFFFFFFFFFFFFFF)
+            + repr(tag).encode()
+            + struct.pack(">I", attempt)
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + self.jitter_fraction * u)
+
+    def lease_seconds(
+        self, predicted_job_seconds: float, n_jobs: int
+    ) -> Optional[float]:
+        """Deadline for a chunk of ``n_jobs`` jobs, or ``None`` for no
+        deadline (``lease_multiplier <= 0``)."""
+        if self.lease_multiplier <= 0:
+            return None
+        predicted = max(0.0, predicted_job_seconds) * max(1, n_jobs)
+        return max(self.lease_floor_seconds, self.lease_multiplier * predicted)
+
+
+#: the pre-resilience configuration: single dispatch, no deadline, no
+#: bisection — used by the overhead benchmark to price the layer itself
+BARE_POLICY = RetryPolicy(
+    max_attempts=1, lease_multiplier=0.0, bisect=False, max_pool_breakages=1 << 30
+)
+
+
+@dataclass
+class ChunkLease:
+    """One in-flight chunk's deadline accounting.
+
+    ``timeout_seconds=None`` means the chunk holds an indefinite lease
+    (never expires).  Times are ``time.monotonic`` values.
+    """
+
+    tag: object
+    timeout_seconds: Optional[float] = None
+    started: float = 0.0
+    attempt: int = 1
+
+    def __post_init__(self):
+        if not self.started:
+            self.started = time.monotonic()
+
+    @property
+    def deadline(self) -> Optional[float]:
+        if self.timeout_seconds is None:
+            return None
+        return self.started + self.timeout_seconds
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        deadline = self.deadline
+        if deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= deadline
+
+    def remaining(self, now: Optional[float] = None) -> Optional[float]:
+        deadline = self.deadline
+        if deadline is None:
+            return None
+        return max(
+            0.0, deadline - (time.monotonic() if now is None else now)
+        )
+
+    def renew(self) -> "ChunkLease":
+        """A fresh lease for the next dispatch attempt of this chunk."""
+        return ChunkLease(
+            tag=self.tag,
+            timeout_seconds=self.timeout_seconds,
+            started=time.monotonic(),
+            attempt=self.attempt + 1,
+        )

@@ -20,6 +20,19 @@ Three executor strategies are available (``executor=``):
   Groth16 groups when the keystore has no disk root to rehydrate from,
   stay in-process (``ServiceReport.placements`` records the decision).
 
+Failure semantics (details in DESIGN.md "Failure semantics"): every
+failure is classified into the typed taxonomy of
+:mod:`repro.core.errors`; transient failures are retried under the
+service's :class:`~repro.core.resilience.RetryPolicy` (deterministic
+backoff, per-chunk lease deadlines on the process tier); jobs that fail
+persistently are bisected down and *quarantined* so the rest of their
+batch still proves; chunk-fatal process failures fall back to inline
+serving of only the missing jobs; and a service whose process pool keeps
+breaking degrades down the executor ladder (process → thread → serial).
+Per-job outcomes — status, attempts, error — are reported in
+``ServiceReport.job_outcomes``; ladder and fallback events in
+``ServiceReport.fallbacks``.
+
 This is the layer the ROADMAP's scaling PRs (async dispatch, remote
 workers) build on: jobs are already data, results are already bytes.
 """
@@ -33,11 +46,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import serialize
 from ..gadgets.matmul import STRATEGIES
+from . import faultinject
 from .api import MatmulProver, MatmulVerifier
 from .artifacts import CircuitRegistry, KeyStore, default_keystore, default_registry
 from .backends import get_backend
 from .bundle import MatmulProofBundle
+from .errors import ProvingError, wrap_error
 from .pool import GroupChunkPolicy, ProcessProvingExecutor
+from .resilience import RetryPolicy
 
 CircuitKeyT = Tuple[int, int, int, str, str]  # (a, n, b, strategy, backend)
 
@@ -79,6 +95,26 @@ class JobResult:
 
 
 @dataclass
+class JobOutcome:
+    """Per-job disposition record — every job in a batch gets exactly one.
+
+    ``status`` is ``"ok"`` (proof served), ``"failed"`` (no proof; the
+    error may be environmental and a resubmit may succeed),
+    ``"quarantined"`` (the job itself is poisonous — it failed
+    persistently and in isolation; resubmitting it verbatim will fail
+    again), or ``"invalid"`` (rejected before grouping).  ``attempts``
+    counts prove dispatches charged to the job's chunk or to the job
+    itself, whichever is larger.
+    """
+
+    job_id: int
+    circuit_key: Optional[CircuitKeyT]
+    status: str
+    attempts: int = 1
+    error: Optional[str] = None
+
+
+@dataclass
 class ServiceReport:
     """What one :meth:`ProvingService.run` drained, and how fast."""
 
@@ -86,17 +122,27 @@ class ServiceReport:
     wall_seconds: float = 0.0
     setup_seconds: float = 0.0
     groups: Dict[CircuitKeyT, int] = field(default_factory=dict)
-    #: circuit groups whose proving raised, with the error message; their
-    #: jobs produced no results but never take down the other groups
+    #: circuit groups that failed *as a group* (setup raised, or process
+    #: chunks died unrecoverably with fallback disabled), with the error
+    #: message; a group error never takes down the other groups, and a
+    #: partially-served group keeps the results it did produce
     errors: Dict[CircuitKeyT, str] = field(default_factory=dict)
     #: jobs rejected before grouping (malformed shapes), by job id
     invalid_jobs: Dict[int, str] = field(default_factory=dict)
-    #: where each group actually ran: ``"inline"`` (calling process) or
-    #: ``"process"`` (pool workers) — only populated by the process
+    #: where each group actually ran: ``"inline"`` (calling process),
+    #: ``"process"`` (pool workers), or ``"process+inline"`` (chunk-fatal
+    #: process errors re-served inline) — populated by the process
     #: executor, where the chunk policy makes a per-group decision
     placements: Dict[CircuitKeyT, str] = field(default_factory=dict)
+    #: one record per job: status ok/failed/quarantined/invalid, attempt
+    #: count, and the (typed, stringified) error if any
+    job_outcomes: Dict[int, JobOutcome] = field(default_factory=dict)
+    #: degradation events, oldest first: inline re-serves of failed
+    #: chunks, the process → thread executor flip, thread → serial
+    fallbacks: List[str] = field(default_factory=list)
     #: True only if *every* job produced a bundle and every bundle
-    #: verified — a batch with errors or invalid jobs is never "verified"
+    #: verified — a batch with errors, invalid jobs, or failed/quarantined
+    #: jobs is never "verified"
     verified: Optional[bool] = None
 
     @property
@@ -107,6 +153,12 @@ class ServiceReport:
 
     def bundles(self) -> List[MatmulProofBundle]:
         return [r.bundle for r in self.results]
+
+    def quarantined(self) -> List[JobOutcome]:
+        """The poison jobs this batch isolated (assertion helper)."""
+        return [
+            o for o in self.job_outcomes.values() if o.status == "quarantined"
+        ]
 
 
 class ProvingService:
@@ -121,6 +173,12 @@ class ProvingService:
     module docstring.  The process executor ignores ``rng`` — workers use
     their own entropy, so deterministic-rng tests should stay on
     ``"serial"``/``"thread"``.
+
+    ``retry_policy`` tunes the fault-tolerance layer (attempts, backoff,
+    chunk leases, bisection, the pool-breakage budget); ``fallback=False``
+    disables the degradation ladder — chunk-fatal process errors are then
+    reported instead of re-served inline, and the executor never flips
+    tiers (useful when callers want failures loud).
     """
 
     def __init__(
@@ -132,6 +190,8 @@ class ProvingService:
         executor: str = "thread",
         start_method: Optional[str] = None,
         chunk_policy: Optional[GroupChunkPolicy] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fallback: bool = True,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -141,6 +201,10 @@ class ProvingService:
         self.executor = executor
         self.registry = registry if registry is not None else default_registry()
         self.keystore = keystore if keystore is not None else default_keystore()
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.fallback = fallback
         self._rng = rng
         self._queue: List[ProveJob] = []
         self._next_id = 0
@@ -156,6 +220,7 @@ class ProvingService:
                 workers=self.workers,
                 keystore_root=self.keystore.root,
                 start_method=start_method,
+                retry_policy=self.retry_policy,
             )
 
     # -- job intake --------------------------------------------------------------
@@ -204,48 +269,95 @@ class ProvingService:
         return prover
 
     def _serve_group_safe(self, key: CircuitKeyT, jobs: Sequence[ProveJob]):
-        """One group's results, or its error — a poisoned group (e.g.
-        non-integer matrix entries that pass shape checks) must not lose
-        every other group's finished proofs."""
+        """One group's ``(key, results, job_records, error)`` — a poisoned
+        group (e.g. a setup failure) must not lose every other group's
+        finished proofs, so group-level exceptions are reported, not
+        raised."""
         try:
-            return key, self._serve_group(key, jobs), None
+            results, records = self._serve_group(key, jobs)
+            return key, results, records, None
         except Exception as exc:  # noqa: BLE001 — reported, not swallowed
-            return key, [], f"{type(exc).__name__}: {exc}"
+            return key, [], {}, f"{type(exc).__name__}: {exc}"
 
     def _serve_group(
         self, key: CircuitKeyT, jobs: Sequence[ProveJob]
-    ) -> List[JobResult]:
+    ) -> Tuple[List[JobResult], Dict[int, JobOutcome]]:
+        """Serve one group in-process, one job at a time, each under the
+        retry policy.  A job that exhausts its retries is recorded —
+        quarantined if its error class is isolatable, failed otherwise —
+        and the rest of the group still proves."""
         prover = self._prover_for(key)
         # Pay setup / circuit warm-up before the per-job timers start, so
         # the first job's prove_seconds is not a setup-sized outlier
         # (setup cost is reported once in ServiceReport.setup_seconds).
         prover._artifacts()
-        results = []
+        policy = self.retry_policy
+        plan = faultinject.active_plan()
+        results: List[JobResult] = []
+        records: Dict[int, JobOutcome] = {}
         for job in jobs:
-            t0 = time.perf_counter()
-            bundle = prover.prove(job.x, job.w)
-            results.append(
-                JobResult(
+            attempts = 0
+            while True:
+                attempts += 1
+                t0 = time.perf_counter()
+                try:
+                    if plan is not None:
+                        plan.fire_inline(job.job_id, job.strategy)
+                    bundle = prover.prove(job.x, job.w)
+                except Exception as exc:  # noqa: BLE001 — classified below
+                    err = (
+                        exc
+                        if isinstance(exc, ProvingError)
+                        else wrap_error(exc, job_id=job.job_id)
+                    )
+                    err.attempts = attempts
+                    if policy.is_retryable(err) and attempts < policy.max_attempts:
+                        time.sleep(
+                            policy.backoff_seconds((key, job.job_id), attempts)
+                        )
+                        continue
+                    records[job.job_id] = JobOutcome(
+                        job_id=job.job_id,
+                        circuit_key=key,
+                        status="quarantined" if err.isolate else "failed",
+                        attempts=attempts,
+                        error=str(err),
+                    )
+                    break
+                results.append(
+                    JobResult(
+                        job_id=job.job_id,
+                        circuit_key=key,
+                        bundle=bundle,
+                        bundle_bytes=bundle.to_bytes(),
+                        prove_seconds=time.perf_counter() - t0,
+                    )
+                )
+                records[job.job_id] = JobOutcome(
                     job_id=job.job_id,
                     circuit_key=key,
-                    bundle=bundle,
-                    bundle_bytes=bundle.to_bytes(),
-                    prove_seconds=time.perf_counter() - t0,
+                    status="ok",
+                    attempts=attempts,
                 )
-            )
-        return results
+                break
+        return results, records
 
     def _serve_groups_process(
         self, groups: Dict[CircuitKeyT, List[ProveJob]], report: ServiceReport
     ):
         """Dispatch groups to the process pool, sharding large ones.
 
-        Returns the same ``(key, results, error)`` outcome triples the
-        in-process paths produce.  Groups the chunk policy deems too
+        Returns the same ``(key, results, records, error)`` outcome tuples
+        the in-process paths produce.  Groups the chunk policy deems too
         small for a process hop — and Groth16 groups with no disk root
-        for workers to rehydrate keys from — are served inline.
+        for workers to rehydrate keys from — are served inline.  Each
+        dispatched chunk carries a lease deadline derived from its
+        predicted proving time; the pool executor retries, bisects, and
+        quarantines per the retry policy, and whatever still fails as a
+        chunk is re-served inline here (``fallback=True``).
         """
         tasks: List[Tuple[Tuple[CircuitKeyT, int], bytes]] = []
+        timeouts: Dict[Tuple[CircuitKeyT, int], float] = {}
         outcomes = []
         inline: List[Tuple[CircuitKeyT, List[ProveJob]]] = []
         dispatched: List[CircuitKeyT] = []
@@ -271,22 +383,35 @@ class ProvingService:
                     for chunk in GroupChunkPolicy.chunk(jobs, n_chunks)
                 ]
             except Exception as exc:  # noqa: BLE001 — poisoned group, isolated
-                outcomes.append((key, [], f"{type(exc).__name__}: {exc}"))
+                outcomes.append((key, [], {}, f"{type(exc).__name__}: {exc}"))
                 continue
             report.placements[key] = "process"
             dispatched.append(key)
-            tasks.extend(((key, ci), blob) for ci, blob in enumerate(blobs))
+            job_seconds = self._chunk_policy.job_seconds(key)
+            per_chunk = max(1, -(-len(jobs) // len(blobs)))
+            lease = self.retry_policy.lease_seconds(job_seconds, per_chunk)
+            for ci, blob in enumerate(blobs):
+                tag = (key, ci)
+                tasks.append((tag, blob))
+                if lease is not None:
+                    timeouts[tag] = lease
         # Submit chunks before serving inline groups: the workers prove
         # concurrently while the parent handles the inline tail, instead
         # of the inline groups being dead serial time before the pool
         # even starts.
         futures = self._pool.start(tasks) if tasks else None
-        outcomes.extend(self._serve_group_safe(key, jobs) for key, jobs in inline)
+        outcomes.extend(
+            self._serve_group_safe(key, jobs) for key, jobs in inline
+        )
         if futures is not None:
-            pool_outcome = self._pool.finish(tasks, futures)
+            pool_outcome = self._pool.finish(tasks, futures, timeouts)
+            job_key = {
+                j.job_id: key for key in dispatched for j in groups[key]
+            }
             merged: Dict[CircuitKeyT, List[JobResult]] = {k: [] for k in dispatched}
-            errors: Dict[CircuitKeyT, List[str]] = {}
+            records: Dict[int, JobOutcome] = {}
             for (key, _ci), triples in pool_outcome.results.items():
+                attempts = pool_outcome.attempts.get((key, _ci), 1)
                 for job_id, bundle_bytes, prove_s in triples:
                     merged[key].append(
                         JobResult(
@@ -297,17 +422,72 @@ class ProvingService:
                             prove_seconds=prove_s,
                         )
                     )
-            for (key, _ci), msg in pool_outcome.errors.items():
-                errors.setdefault(key, []).append(msg)
+                    records[job_id] = JobOutcome(
+                        job_id=job_id,
+                        circuit_key=key,
+                        status="ok",
+                        attempts=attempts,
+                    )
+            for poison in pool_outcome.quarantined:
+                records[poison.job_id] = JobOutcome(
+                    job_id=poison.job_id,
+                    circuit_key=job_key.get(poison.job_id),
+                    status="quarantined",
+                    attempts=max(1, poison.attempts),
+                    error=str(poison),
+                )
+            chunk_fatal: Dict[CircuitKeyT, List[ProvingError]] = {}
+            for (key, _ci), err in pool_outcome.errors.items():
+                chunk_fatal.setdefault(key, []).append(err)
             for key in dispatched:
-                if key in errors:
-                    # An errored group yields no results, even if some of
-                    # its chunks survived — ServiceReport.errors documents
-                    # that invariant and the inline path honours it, so a
-                    # partially-failed sharded group must not differ.
-                    outcomes.append((key, [], "; ".join(errors[key])))
-                else:
-                    outcomes.append((key, merged[key], None))
+                group_records = {
+                    jid: rec
+                    for jid, rec in records.items()
+                    if job_key.get(jid) == key
+                }
+                error_msgs = [str(e) for e in chunk_fatal.get(key, [])]
+                if error_msgs and self.fallback:
+                    # Chunk-fatal process errors (e.g. MissingKey when the
+                    # disk artifacts vanished) degrade to inline serving of
+                    # only the jobs that have neither a proof nor a
+                    # quarantine record — the parent may be able to do
+                    # what the read-only workers could not.
+                    done = set(group_records)
+                    missing = [
+                        j for j in groups[key] if j.job_id not in done
+                    ]
+                    kinds = ",".join(
+                        sorted({e.kind for e in chunk_fatal[key]})
+                    )
+                    report.fallbacks.append(
+                        f"group {key}: process->inline after {kinds}"
+                    )
+                    report.placements[key] = "process+inline"
+                    _, res, recs, err2 = self._serve_group_safe(key, missing)
+                    merged[key].extend(res)
+                    group_records.update(recs)
+                    error_msgs = [] if err2 is None else error_msgs + [err2]
+                outcomes.append(
+                    (
+                        key,
+                        merged[key],
+                        group_records,
+                        "; ".join(error_msgs) if error_msgs else None,
+                    )
+                )
+            if (
+                self.fallback
+                and self._pool.breakages >= self.retry_policy.max_pool_breakages
+            ):
+                # The process tier keeps losing pools (crashes/hangs):
+                # stop feeding it.  Future batches run on the thread tier.
+                report.fallbacks.append(
+                    f"executor process->thread after "
+                    f"{self._pool.breakages} pool breakage(s)"
+                )
+                self._pool.shutdown()
+                self._pool = None
+                self.executor = "thread"
         return outcomes
 
     def run(self, verify: bool = False) -> ServiceReport:
@@ -342,8 +522,16 @@ class ProvingService:
             groups={k: len(v) for k, v in groups.items()},
             invalid_jobs=invalid,
         )
+        for job_id, msg in invalid.items():
+            report.job_outcomes[job_id] = JobOutcome(
+                job_id=job_id,
+                circuit_key=None,
+                status="invalid",
+                attempts=0,
+                error=msg,
+            )
         if groups:
-            if self.executor == "process":
+            if self.executor == "process" and self._pool is not None:
                 outcomes = self._serve_groups_process(groups, report)
             elif (
                 self.executor == "serial"
@@ -352,19 +540,50 @@ class ProvingService:
             ):
                 outcomes = [self._serve_group_safe(k, v) for k, v in groups.items()]
             else:
-                with ThreadPoolExecutor(
-                    max_workers=min(self.workers, len(groups))
-                ) as pool:
-                    outcomes = list(
-                        pool.map(
-                            lambda kv: self._serve_group_safe(*kv),
-                            groups.items(),
+                try:
+                    with ThreadPoolExecutor(
+                        max_workers=min(self.workers, len(groups))
+                    ) as pool:
+                        outcomes = list(
+                            pool.map(
+                                lambda kv: self._serve_group_safe(*kv),
+                                groups.items(),
+                            )
                         )
+                except (RuntimeError, OSError) as exc:
+                    # Thread tier unavailable (cannot start threads):
+                    # bottom rung of the ladder is plain serial serving.
+                    report.fallbacks.append(
+                        f"executor thread->serial "
+                        f"({type(exc).__name__}: {exc})"
                     )
-            for key, batch, error in outcomes:
+                    outcomes = [
+                        self._serve_group_safe(k, v) for k, v in groups.items()
+                    ]
+            for key, batch, job_records, error in outcomes:
                 report.results.extend(batch)
+                report.job_outcomes.update(job_records)
                 if error is not None:
                     report.errors[key] = error
+        # Every submitted job leaves with exactly one outcome record;
+        # anything unaccounted for (e.g. a group-level setup failure
+        # recorded no per-job outcomes) failed with its group's error.
+        served = {r.job_id for r in report.results}
+        for key, group_jobs in groups.items():
+            for job in group_jobs:
+                if job.job_id in report.job_outcomes:
+                    continue
+                if job.job_id in served:
+                    report.job_outcomes[job.job_id] = JobOutcome(
+                        job_id=job.job_id, circuit_key=key, status="ok"
+                    )
+                else:
+                    report.job_outcomes[job.job_id] = JobOutcome(
+                        job_id=job.job_id,
+                        circuit_key=key,
+                        status="failed",
+                        error=report.errors.get(key, "no result"),
+                    )
         report.results.sort(key=lambda r: r.job_id)
         report.setup_seconds = sum(
             s
@@ -377,17 +596,23 @@ class ProvingService:
             report.verified = (
                 not report.errors
                 and not report.invalid_jobs
+                and all(
+                    o.status == "ok" for o in report.job_outcomes.values()
+                )
                 and self.verify_report(report)
             )
         return report
 
     def close(self) -> None:
-        """Release the worker pool (process executor only).
+        """Release the worker pool (process executor only).  Idempotent:
+        safe to call repeatedly, after a degradation flip dropped the
+        pool, and on services that never had one.
 
         The pool is kept alive across batches so workers retain their
         circuit/keypair/table caches; long-lived services that are done
         proving call this to reap the worker processes (interpreter exit
-        reaps them regardless)."""
+        reaps them regardless; a batch served after close() lazily builds
+        a fresh pool)."""
         if self._pool is not None:
             self._pool.shutdown()
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import struct
 from typing import List, Optional, Tuple
 
+from .core.errors import CorruptEnvelope
 from .curve.bn254 import AffinePoint, is_on_curve
 from .field.extension import Fq2
 from .field.prime_field import BN254_FQ_MODULUS, BN254_FR_MODULUS
@@ -419,6 +420,18 @@ def matmul_bundle_from_bytes(data: bytes):
 # results come back as wire-format bundles plus timing.  Matrix entries
 # are encoded canonically mod R — the circuits operate mod R, so the
 # encoding is semantics-preserving for signed inputs.
+#
+# Envelope *decode* failures raise the typed
+# :class:`~repro.core.errors.CorruptEnvelope` (a ``ValueError`` subclass,
+# so the fuzzing contract is unchanged) carrying the reader offset — the
+# resilience layer classifies and retries on the type, and the offset
+# turns "truncated input" into a debuggable report.
+
+
+def _corrupt(what: str, reader: "_Reader", exc: Exception) -> "CorruptEnvelope":
+    return CorruptEnvelope(
+        f"corrupt {what} envelope: {exc}", offset=reader.pos
+    )
 
 def prove_job_to_bytes(
     job_id: int,
@@ -447,10 +460,16 @@ def prove_job_to_bytes(
 
 def prove_job_from_bytes(data: bytes):
     """Returns ``(job_id, x, w, strategy, backend)`` with field-canonical
-    matrix entries."""
+    matrix entries.  Raises :class:`~repro.core.errors.CorruptEnvelope`
+    on malformed input."""
     r = _Reader(data)
-    job = _prove_job_from_reader(r)
-    r.done()
+    try:
+        job = _prove_job_from_reader(r)
+        r.done()
+    except CorruptEnvelope:
+        raise
+    except (ValueError, struct.error) as exc:
+        raise _corrupt("prove-job", r, exc) from exc
     return job
 
 
@@ -479,8 +498,13 @@ def prove_jobs_to_bytes(jobs) -> bytes:
 
 def prove_jobs_from_bytes(data: bytes):
     r = _Reader(data)
-    jobs = [prove_job_from_bytes(r.blob()) for _ in range(r.u32())]
-    r.done()
+    try:
+        jobs = [prove_job_from_bytes(r.blob()) for _ in range(r.u32())]
+        r.done()
+    except CorruptEnvelope:
+        raise
+    except (ValueError, struct.error) as exc:
+        raise _corrupt("prove-jobs batch", r, exc) from exc
     return jobs
 
 
@@ -491,11 +515,17 @@ def job_result_to_bytes(job_id: int, bundle_bytes: bytes, prove_seconds: float) 
 
 
 def job_result_from_bytes(data: bytes):
-    """Returns ``(job_id, bundle_bytes, prove_seconds)``."""
+    """Returns ``(job_id, bundle_bytes, prove_seconds)``.  Raises
+    :class:`~repro.core.errors.CorruptEnvelope` on malformed input."""
     r = _Reader(data)
-    job_id, prove_seconds = struct.unpack(">Id", r.take(12))
-    bundle_bytes = r.blob()
-    r.done()
+    try:
+        job_id, prove_seconds = struct.unpack(">Id", r.take(12))
+        bundle_bytes = r.blob()
+        r.done()
+    except CorruptEnvelope:
+        raise
+    except (ValueError, struct.error) as exc:
+        raise _corrupt("job-result", r, exc) from exc
     return job_id, bundle_bytes, prove_seconds
 
 
@@ -509,8 +539,13 @@ def job_results_to_bytes(results) -> bytes:
 
 def job_results_from_bytes(data: bytes):
     r = _Reader(data)
-    results = [job_result_from_bytes(r.blob()) for _ in range(r.u32())]
-    r.done()
+    try:
+        results = [job_result_from_bytes(r.blob()) for _ in range(r.u32())]
+        r.done()
+    except CorruptEnvelope:
+        raise
+    except (ValueError, struct.error) as exc:
+        raise _corrupt("job-results batch", r, exc) from exc
     return results
 
 

@@ -75,6 +75,7 @@ class VerifiableInference:
         keystore: Optional[KeyStore] = None,
         executor: str = "serial",
         workers: int = 4,
+        retry_policy=None,
     ):
         self.qmodel = qmodel
         self.strategy = strategy
@@ -82,6 +83,10 @@ class VerifiableInference:
         self.max_layers = max_layers
         self.executor = executor
         self.workers = workers
+        #: Optional[repro.core.resilience.RetryPolicy] forwarded to the
+        #: ProvingService on non-serial executors — layer proving then
+        #: inherits the retry/lease/quarantine fault tolerance.
+        self.retry_policy = retry_policy
         # Circuits and keypairs live in the shared artifact store, so
         # proofs from one instance verify on any other (and, with a
         # disk-backed KeyStore, across restarts).
@@ -173,6 +178,7 @@ class VerifiableInference:
                 registry=self._registry,
                 keystore=self._keystore,
                 executor=self.executor,
+                retry_policy=self.retry_policy,
             )
         service = self._service
         for _, x, w in captured:
@@ -183,9 +189,20 @@ class VerifiableInference:
             )
         report = service.run()
         if report.errors or report.invalid_jobs or len(report.results) != len(captured):
-            raise RuntimeError(
+            from ..core.errors import ProvingError
+
+            # An inference proof is all-or-nothing: a single unproven
+            # layer (failed, quarantined, or invalid) makes the whole
+            # forward pass unverifiable, so surface a typed error with
+            # the per-layer dispositions instead of a partial proof.
+            bad = {
+                jid: f"{o.status}: {o.error}"
+                for jid, o in sorted(report.job_outcomes.items())
+                if o.status != "ok"
+            }
+            raise ProvingError(
                 f"layer proving failed: errors={report.errors} "
-                f"invalid={report.invalid_jobs}"
+                f"invalid={report.invalid_jobs} jobs={bad}"
             )
         return [
             LayerProof(layer=layer, bundle=result.bundle)

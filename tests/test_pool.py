@@ -16,20 +16,30 @@ from _matutil import rand_mats
 from repro import serialize
 from repro.core import (
     CircuitRegistry,
+    CorruptEnvelope,
     GroupChunkPolicy,
     KeyStore,
     MatmulVerifier,
+    MissingKey,
     ProcessProvingExecutor,
+    ProvingError,
     ProvingService,
+    RetryPolicy,
 )
 from repro.core.pool import _CRASH_ENV
 
 DISPATCH_ALWAYS = dict(min_dispatch_seconds=0.0)
 
+#: keep failure tests fast: short backoff, quick bisection
+FAST_RETRIES = RetryPolicy(
+    max_attempts=2, backoff_base_seconds=0.001, lease_floor_seconds=60.0
+)
 
-def make_service(tmp_path, executor, start_method=None, workers=2):
+
+def make_service(tmp_path, executor, start_method=None, workers=2, **kwargs):
     registry = CircuitRegistry()
     keystore = KeyStore(root=str(tmp_path), registry=registry)
+    kwargs.setdefault("retry_policy", FAST_RETRIES)
     return ProvingService(
         workers=workers,
         registry=registry,
@@ -37,6 +47,7 @@ def make_service(tmp_path, executor, start_method=None, workers=2):
         executor=executor,
         start_method=start_method,
         chunk_policy=GroupChunkPolicy(workers=workers, **DISPATCH_ALWAYS),
+        **kwargs,
     )
 
 
@@ -117,8 +128,11 @@ class TestJobEnvelopes:
     def test_truncated_envelope_rejected(self):
         x, w = rand_mats(2, 2, 2, seed=2)
         blob = serialize.prove_jobs_to_bytes([(0, x, w, "crpc_psq", "spartan")])
-        with pytest.raises(serialize.SerializationError):
+        with pytest.raises(CorruptEnvelope) as excinfo:
             serialize.prove_jobs_from_bytes(blob[:-5])
+        # typed, still a ValueError for legacy handlers, and it says where
+        assert isinstance(excinfo.value, ValueError)
+        assert excinfo.value.offset is not None
 
     def test_empty_matrices_rejected(self):
         for x, w in ([], [[1]]), ([[]], [[1]]), ([[1]], []), ([[1]], [[]]):
@@ -189,54 +203,85 @@ class TestFailureIsolation:
 
     def test_dying_worker_poisons_only_its_group(self, tmp_path, monkeypatch):
         """A worker that dies without cleanup (simulated segfault) breaks
-        the shared pool; innocent groups are retried in a fresh pool and
-        complete, only the culprit's group reports the error."""
+        the shared pool; innocent groups are re-dispatched in a fresh pool
+        and complete, while the culprit — which keeps crashing every
+        retry — is bisected down to a quarantined poison job."""
         monkeypatch.setenv(_CRASH_ENV, "crpc")
         svc = make_service(tmp_path, "process")
         good = [
             svc.submit(*rand_mats(2, 2, 2, seed=s), backend="spartan")
             for s in range(2)
         ]
-        svc.submit(
+        bad = svc.submit(
             *rand_mats(2, 2, 2, seed=9), strategy="crpc", backend="spartan"
         )
         report = svc.run()
         assert [r.job_id for r in report.results] == good
-        (bad_key,) = report.errors
-        assert bad_key[3] == "crpc"
-        assert "BrokenProcessPool" in report.errors[bad_key]
+        assert not report.errors  # the crash was isolated, not group-fatal
+        (poison,) = report.quarantined()
+        assert poison.job_id == bad
+        assert "worker-crash" in (poison.error or "")
+        assert {j: o.status for j, o in report.job_outcomes.items()} == {
+            good[0]: "ok",
+            good[1]: "ok",
+            bad: "quarantined",
+        }
         assert svc.verify_report(report)
 
-    def test_partially_failed_sharded_group_yields_no_results(self, tmp_path):
-        """If any chunk of a sharded group fails, the whole group errors
-        with no results — the invariant ServiceReport.errors documents
-        and the inline path honours."""
+    @pytest.mark.parametrize("fallback", [True, False])
+    def test_partially_failed_sharded_group(self, tmp_path, fallback):
+        """A chunk-fatal failure inside a sharded group keeps the other
+        chunks' results.  With the degradation ladder on (the default) the
+        missing jobs are re-served inline and the group fully recovers;
+        with ``fallback=False`` the partial results are kept and the
+        group reports the typed chunk error."""
         from repro.core import PoolOutcome
         from repro.core.pool import _prove_group_worker
 
-        svc = make_service(tmp_path, "process")
+        svc = make_service(tmp_path, "process", fallback=fallback)
         root = str(tmp_path)
 
         class HalfBrokenPool:
+            breakages = 0
+
             def start(self, tasks):
                 return list(tasks)
 
-            def finish(self, tasks, futures):
+            def finish(self, tasks, futures, timeouts=None):
                 outcome = PoolOutcome()
                 (tag0, blob0), (tag1, _) = futures
                 outcome.results[tag0] = serialize.job_results_from_bytes(
                     _prove_group_worker(root, blob0)
                 )
-                outcome.errors[tag1] = "MemoryError: boom"
+                outcome.attempts[tag0] = 1
+                outcome.errors[tag1] = ProvingError("MemoryError: boom")
                 return outcome
 
+            def shutdown(self):
+                pass
+
         svc._pool = HalfBrokenPool()
-        for seed in range(4):  # one group, sharded into 2 chunks
+        ids = [
             svc.submit(*rand_mats(2, 2, 2, seed=seed), backend="spartan")
+            for seed in range(4)  # one group, sharded into 2 chunks
+        ]
         report = svc.run()
-        assert report.results == []
-        (key,) = report.errors
-        assert "MemoryError" in report.errors[key]
+        (key,) = report.groups
+        if fallback:
+            assert [r.job_id for r in report.results] == ids
+            assert not report.errors
+            assert report.placements[key] == "process+inline"
+            assert any("process->inline" in f for f in report.fallbacks)
+        else:
+            # the surviving chunk's proofs are not discarded
+            assert [r.job_id for r in report.results] == ids[:2]
+            assert "MemoryError" in report.errors[key]
+            assert [
+                o.job_id
+                for o in report.job_outcomes.values()
+                if o.status == "failed"
+            ] == ids[2:]
+        assert svc.verify_report(report)
 
     def test_worker_refuses_to_mint_keys(self, tmp_path):
         """A groth16 chunk dispatched against a root that holds no
@@ -251,7 +296,9 @@ class TestFailureIsolation:
         )
         outcome = executor.run([(("g", 0), blob)])
         assert not outcome.results
-        assert "KeyError" in outcome.errors[("g", 0)]
+        err = outcome.errors[("g", 0)]
+        assert isinstance(err, MissingKey)  # typed: not retried, not bisected
+        assert "KeyError" in str(err)
         # ...and it wrote nothing: the root is still empty.
         assert os.listdir(tmp_path) == []
 

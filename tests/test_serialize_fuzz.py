@@ -238,3 +238,27 @@ class TestJobEnvelopeFuzz:
         rng = random.Random(SEED + len(blob))
         for mutant in mutants(rng, blob, 200):
             assert_parse_clean(parse, mutant)
+
+    @pytest.mark.parametrize("which", ["jobs", "results"])
+    def test_envelope_decode_failures_are_typed(self, blobs, which):
+        """Envelope decoders raise the *typed* CorruptEnvelope (which the
+        resilience layer classifies as retryable) with an input offset —
+        never a bare struct.error or SerializationError.  Truncations of
+        every length must hit the typed path."""
+        from repro.core.errors import CorruptEnvelope
+
+        blob, parse = {
+            "jobs": (blobs[0], serialize.prove_jobs_from_bytes),
+            "results": (blobs[1], serialize.job_results_from_bytes),
+        }[which]
+        seen_offsets = set()
+        for cut in range(len(blob)):
+            try:
+                parse(blob[:cut])
+            except CorruptEnvelope as exc:
+                assert isinstance(exc, ValueError)  # fuzz contract holds
+                assert exc.offset is not None and 0 <= exc.offset <= cut
+                seen_offsets.add(exc.offset)
+            # a prefix that happens to decode (e.g. a shorter count) is
+            # fine — the decoders reject trailing bytes, not prefixes
+        assert seen_offsets  # the typed path actually fired

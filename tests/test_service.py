@@ -204,10 +204,15 @@ class TestProvingService:
         svc = ProvingService(workers=1, registry=registry, keystore=keystore)
         good = svc.submit(*rand_mats(2, 2, 2, seed=1), backend="spartan")
         # Passes shape validation but blows up at proving time.
-        svc.submit([["x", "y"], [1, 2]], [[1], [2]], backend="spartan")
+        bad = svc.submit([["x", "y"], [1, 2]], [[1], [2]], backend="spartan")
         report = svc.run(verify=True)
         assert [r.job_id for r in report.results] == [good]
-        assert len(report.errors) == 1
+        # The deterministic per-job failure is quarantined (typed, with
+        # the attempt count), not escalated to a group error.
+        assert not report.errors
+        (poison,) = report.quarantined()
+        assert poison.job_id == bad
+        assert "ValueError" in (poison.error or "")
         # A batch with failures is never "verified"...
         assert report.verified is False
         # ...but the jobs that did complete still check out.
