@@ -5,6 +5,10 @@ Times the dominant prover kernels on this machine:
 * **MSM** over G1 for sizes 2^8..2^14 — the new batch-affine Pippenger and
   a warm fixed-base table, plus (at small sizes) the pre-PR-style Jacobian
   Pippenger for reference;
+* **field** for sizes 2^8..2^12 — the scalar big-int loops versus the
+  vector engine (``repro.field.vector``) on the same inputs: elementwise
+  mulmod/addmod, batched inversion, ``ntt_many``, and the FlatR1CS CSR
+  matvec;
 * **sumcheck** proving for table sizes 2^10..2^16 — the specialized
   ``prod2`` kernel and the naive reference prover;
 * **Hyrax commit** at 2^10 / 2^12 — the batched fixed-base path versus
@@ -43,8 +47,9 @@ sys.path.insert(
 from repro.curve.bn254 import CURVE_ORDER, g1_generator, multiply  # noqa: E402
 from repro.curve.fixed_base import FixedBaseMSM  # noqa: E402
 from repro.curve.msm import _msm_jacobian, msm  # noqa: E402
+from repro.field import vector  # noqa: E402
 from repro.field.ntt import naive_ntt, ntt, ntt_many  # noqa: E402
-from repro.field.prime_field import BN254_FR_MODULUS  # noqa: E402
+from repro.field.prime_field import BN254_FR_MODULUS, batch_inv_mod  # noqa: E402
 from repro.groth16.prove import _compute_h, _compute_h_reference  # noqa: E402
 from repro.r1cs.system import R1CSInstance  # noqa: E402
 from repro.spartan.commitment import HyraxProver, generator_fixed_base  # noqa: E402
@@ -59,6 +64,7 @@ R = BN254_FR_MODULUS
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_prover.json")
 
 MSM_SIZES = [1 << k for k in range(8, 15)]       # 2^8 .. 2^14
+FIELD_SIZES = [1 << k for k in range(8, 13)]      # 2^8 .. 2^12
 SUMCHECK_SIZES = [1 << k for k in range(10, 17)]  # 2^10 .. 2^16
 HYRAX_SIZES = [1 << 10, 1 << 12]
 NTT_SIZES = [1 << k for k in range(8, 15)]        # 2^8 .. 2^14
@@ -191,6 +197,96 @@ def bench_ntt(sizes=NTT_SIZES, repeats: int = 1) -> Dict[str, Dict[str, float]]:
     return out
 
 
+def bench_field(
+    sizes=FIELD_SIZES, repeats: int = 1
+) -> Dict[str, Dict[str, float]]:
+    """Scalar vs vector field engine on equal inputs.
+
+    Elementwise metrics (``mulmod``/``addmod``/``batch_inv``) time the
+    kernels over pre-converted limb arrays — the amortised regime every
+    integrated call site (quotient chain, sumcheck rounds) actually runs
+    in.  ``ntt_many`` and ``matvec`` are list-in/list-out under each
+    backend, i.e. they pay the vector engine's conversions;
+    ``vector_matvec_limbs`` shows the conversion-free matvec rate.  When
+    no vector engine is available only the scalar metrics are recorded.
+    """
+    rng = random.Random(0xF1E1D)
+    out: Dict[str, Dict[str, float]] = {}
+    have_vec = bool(vector.available_impls())
+    for n in sizes:
+        a = [rng.randrange(R) for _ in range(n)]
+        b = [rng.randrange(1, R) for _ in range(n)]
+        rows = [
+            [rng.randrange(R) for _ in range(n)] for _ in range(NTT_BATCH)
+        ]
+        csr_rows = [
+            [(rng.randrange(n), rng.randrange(1, R)) for _ in range(6)]
+            for _ in range(n)
+        ]
+        entry: Dict[str, float] = {}
+        # Loop the elementwise ops so every timing sample covers >= ~32k
+        # element-ops: a single small-n kernel call runs in tens of
+        # microseconds, where timer jitter swamps the 25% regression gate.
+        iters = max(1, (1 << 15) // n)
+
+        def _loop(fn):
+            def run():
+                for _ in range(iters):
+                    fn()
+            return run
+
+        try:
+            vector.set_backend("scalar")
+            from repro.r1cs.system import FlatR1CS
+
+            flat = FlatR1CS(csr_rows)
+            nnz = len(flat.wires)
+            entry["scalar_mulmod_ops_per_sec"] = (iters * n) / _timed(
+                _loop(lambda: [x * y % R for x, y in zip(a, b)]), repeats
+            )
+            entry["scalar_addmod_ops_per_sec"] = (iters * n) / _timed(
+                _loop(lambda: [(x + y) % R for x, y in zip(a, b)]), repeats
+            )
+            entry["scalar_batch_inv_ops_per_sec"] = (iters * n) / _timed(
+                _loop(lambda: batch_inv_mod(b, R)), repeats
+            )
+            entry["scalar_ntt_many_ops_per_sec"] = (NTT_BATCH * n) / _timed(
+                lambda: ntt_many(rows), repeats
+            )
+            entry["scalar_matvec_ops_per_sec"] = (iters * nnz) / _timed(
+                _loop(lambda: flat.matvec(a)), repeats
+            )
+            if have_vec:
+                vector.set_backend("vector")
+                al, bl = vector.to_limbs(a), vector.to_limbs(b)
+                entry["vector_mulmod_ops_per_sec"] = (iters * n) / _timed(
+                    _loop(lambda: vector.vec_mul(al, bl)), repeats
+                )
+                entry["vector_addmod_ops_per_sec"] = (iters * n) / _timed(
+                    _loop(lambda: vector.vec_add(al, bl)), repeats
+                )
+                entry["vector_batch_inv_ops_per_sec"] = (iters * n) / _timed(
+                    _loop(lambda: vector.batch_inv(bl)), repeats
+                )
+                ntt_many(rows)  # warm the plan's vector kernels
+                entry["vector_ntt_many_ops_per_sec"] = (
+                    NTT_BATCH * n
+                ) / _timed(lambda: ntt_many(rows), repeats)
+                flat.matvec(a)  # warm the CSR kernel
+                entry["vector_matvec_ops_per_sec"] = (iters * nnz) / _timed(
+                    _loop(lambda: flat.matvec(a)), repeats
+                )
+                kern = flat.vec_kernel()
+                if kern is not None:
+                    entry["vector_matvec_limbs_ops_per_sec"] = (
+                        iters * nnz
+                    ) / _timed(_loop(lambda: kern.matvec_limbs(al)), repeats)
+        finally:
+            vector.set_backend(None)  # back to the env-resolved backend
+        out[str(n)] = entry
+    return out
+
+
 def _quotient_fixture(domain_size: int, terms_per_row: int = 3):
     """A synthetic R1CS instance filling the whole domain (satisfaction is
     irrelevant for timing the quotient transforms)."""
@@ -255,19 +351,39 @@ def merge_baseline(path: str, results: Dict[str, object]) -> Dict[str, object]:
     return merged
 
 
+def _host_meta(quick: bool) -> Dict[str, object]:
+    """Host facts a comparison needs: ``cpu_count`` lets the regression
+    gate demote process-pool deltas to warnings across differing core
+    counts; the backend/impl fields say which field engine produced the
+    fast-path numbers."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+        "field_backend": vector.get_backend(),
+        "field_impl": vector.active_impl(),
+        "quick": quick,
+    }
+
+
 def run_benchmarks(repeats: int = 1, quick: bool = False) -> Dict[str, object]:
     msm_sizes = MSM_SIZES[:4] if quick else MSM_SIZES
+    field_sizes = FIELD_SIZES[:3] if quick else FIELD_SIZES
     sc_sizes = SUMCHECK_SIZES[:4] if quick else SUMCHECK_SIZES
     hyrax_sizes = HYRAX_SIZES[:1] if quick else HYRAX_SIZES
     ntt_sizes = NTT_SIZES[:4] if quick else NTT_SIZES
     quotient_sizes = QUOTIENT_SIZES[:1] if quick else QUOTIENT_SIZES
     return {
-        "meta": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "quick": quick,
-        },
+        "meta": _host_meta(quick),
         "msm": bench_msm(msm_sizes, repeats),
+        "field": bench_field(field_sizes, repeats),
         "sumcheck": bench_sumcheck(sc_sizes, repeats),
         "hyrax_commit": bench_hyrax(hyrax_sizes, repeats),
         "ntt": bench_ntt(ntt_sizes, repeats),
@@ -286,7 +402,9 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     results = run_benchmarks(repeats=args.repeats, quick=args.quick)
     merge_baseline(args.out, results)
-    for section in ("msm", "sumcheck", "hyrax_commit", "ntt", "groth16_quotient"):
+    for section in (
+        "msm", "field", "sumcheck", "hyrax_commit", "ntt", "groth16_quotient"
+    ):
         print(f"[{section}]")
         for size, entry in sorted(
             results[section].items(), key=lambda kv: int(kv[0])

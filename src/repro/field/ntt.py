@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from . import vector as _vector
 from .prime_field import BN254_FR_MODULUS, fr_root_of_unity, inv_mod
 
 R = BN254_FR_MODULUS
@@ -70,7 +71,9 @@ class NTTPlan:
     ladder caches.
     """
 
-    __slots__ = ("n", "rev", "n_inv", "_root", "_fwd", "_inv", "_ladders")
+    __slots__ = (
+        "n", "rev", "n_inv", "_root", "_fwd", "_inv", "_ladders", "_vec"
+    )
 
     # Ladders for at most this many distinct coset generators stay cached
     # per plan (each is two length-n int lists); the hot quotient path only
@@ -91,6 +94,7 @@ class NTTPlan:
         self._fwd: Optional[list] = None
         self._inv: Optional[list] = None
         self._ladders: Dict[int, Tuple[List[int], List[int]]] = {}
+        self._vec: Dict[str, dict] = {}
 
     @property
     def fwd_stages(self):
@@ -150,6 +154,102 @@ class NTTPlan:
                     out[j] = (even - odd) % R
                     k += 1
 
+    # -- vector engine ------------------------------------------------------
+    def vec_state(self) -> Optional[dict]:
+        """Per-engine kernel cache for the active vector implementation, or
+        ``None`` when the scalar backend is active or ``n`` is below the
+        engine's profitability floor.  Keyed by implementation name so a
+        runtime backend switch (tests, ``set_backend``) rebuilds cleanly."""
+        impl = _vector.active_impl()
+        if impl is None or self.n < _vector.NTT_MIN[impl]:
+            return None
+        state = self._vec.get(impl)
+        if state is None:
+            state = self._vec[impl] = {
+                "rev": _vector.np.asarray(self.rev, dtype=_vector.np.intp),
+                "fwd": None,
+                "inv": None,
+                "ladders": {},
+            }
+        return state
+
+    def _vec_kernel(self, state: dict, inverse: bool):
+        key = "inv" if inverse else "fwd"
+        kern = state[key]
+        if kern is None:
+            stages = self.inv_stages if inverse else self.fwd_stages
+            kern = state[key] = _vector.make_ntt_kernel(stages)
+        return kern
+
+    def _vec_ladder(self, state: dict, g: int):
+        """Coset ladders preconditioned for :func:`vector.vec_mul_prepared`
+        (forward ``g^i`` and pre-folded inverse ``n_inv * g^-i``)."""
+        g %= R
+        prep = state["ladders"].get(g)
+        if prep is None:
+            fwd, inv_scaled = self.coset_ladder(g)
+            prep = state["ladders"][g] = (
+                _vector.prepare_multipliers(fwd),
+                _vector.prepare_multipliers(inv_scaled),
+            )
+            while len(state["ladders"]) > self._LADDER_LIMIT:
+                state["ladders"].pop(next(iter(state["ladders"])))
+        return prep
+
+    def ntt_limbs(
+        self, x, inverse: bool = False, state: Optional[dict] = None
+    ):
+        """(Inverse) NTT over ``(n, 4)`` canonical limb arrays — the
+        limb-domain twin of :meth:`ntt`, used by the Groth16 quotient chain
+        to stay out of big-int space between transforms.  The caller must
+        hold a non-``None`` :meth:`vec_state`."""
+        if state is None:
+            state = self.vec_state()
+        if x.shape[0] != self.n:
+            raise ValueError(
+                f"vector length {x.shape[0]} does not match plan size {self.n}"
+            )
+        out = x[state["rev"]]
+        out = self._vec_kernel(state, inverse).run_limbs(out)
+        if inverse:
+            out = _vector.vec_mul_scalar(out, self.n_inv)
+        return out
+
+    def coset_ntt_limbs(self, coeffs, g: int, state: Optional[dict] = None):
+        """Limb-domain twin of :meth:`coset_ntt` (input height ``<= n``;
+        scaling by the ``g^i`` ladder precedes the zero-padded load)."""
+        if state is None:
+            state = self.vec_state()
+        n = self.n
+        m = coeffs.shape[0]
+        if m > n:
+            raise ValueError(
+                f"polynomial has {m} coefficients, more than the coset "
+                f"domain size {n}"
+            )
+        fwd_prep, _ = self._vec_ladder(state, g)
+        scaled = _vector.vec_mul_prepared(coeffs, fwd_prep[:m])
+        if m < n:
+            padded = _vector.np.zeros((n, 4), dtype=_vector.np.uint64)
+            padded[:m] = scaled
+            scaled = padded
+        out = scaled[state["rev"]]
+        return self._vec_kernel(state, inverse=False).run_limbs(out)
+
+    def coset_intt_limbs(self, evals, g: int, state: Optional[dict] = None):
+        """Limb-domain twin of :meth:`coset_intt`."""
+        if state is None:
+            state = self.vec_state()
+        if evals.shape[0] != self.n:
+            raise ValueError(
+                f"vector length {evals.shape[0]} does not match plan size "
+                f"{self.n}"
+            )
+        _, inv_prep = self._vec_ladder(state, g)
+        out = evals[state["rev"]]
+        out = self._vec_kernel(state, inverse=True).run_limbs(out)
+        return _vector.vec_mul_prepared(out, inv_prep)
+
     # -- plain transforms ---------------------------------------------------
     def ntt(self, values: Sequence[int], inverse: bool = False) -> List[int]:
         """(Inverse) NTT of a length-``n`` vector; the input is not
@@ -157,6 +257,11 @@ class NTTPlan:
         if len(values) != self.n:
             raise ValueError(
                 f"vector length {len(values)} does not match plan size {self.n}"
+            )
+        state = self.vec_state()
+        if state is not None:
+            return _vector.from_limbs(
+                self.ntt_limbs(_vector.to_limbs(values), inverse, state)
             )
         out = [values[r] % R for r in self.rev]
         if inverse:
@@ -209,6 +314,11 @@ class NTTPlan:
                 f"polynomial has {m} coefficients, more than the coset "
                 f"domain size {n}"
             )
+        state = self.vec_state()
+        if state is not None:
+            return _vector.from_limbs(
+                self.coset_ntt_limbs(_vector.to_limbs(coeffs), g, state)
+            )
         fwd, _ = self.coset_ladder(g)
         out = [0] * n
         for i, r in enumerate(self.rev):
@@ -229,6 +339,11 @@ class NTTPlan:
         if len(evals) != self.n:
             raise ValueError(
                 f"vector length {len(evals)} does not match plan size {self.n}"
+            )
+        state = self.vec_state()
+        if state is not None:
+            return _vector.from_limbs(
+                self.coset_intt_limbs(_vector.to_limbs(evals), g, state)
             )
         _, inv_scaled = self.coset_ladder(g)
         out = [evals[r] % R for r in self.rev]

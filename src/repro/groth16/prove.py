@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..curve.bn254 import CURVE_ORDER, add, g1_generator, multiply, neg
 from ..curve.fixed_base import fixed_base_msm
+from ..field import vector as _vector
 from ..field.ntt import (
     NTTPlan,
     get_plan,
@@ -82,6 +83,10 @@ def _compute_h(
 ) -> List[int]:
     """Coefficients of ``h(X) = (A(X)B(X) - C(X)) / t(X)``."""
     ctx = _quotient_context(domain_size)
+    plan = ctx.plan
+    state = plan.vec_state()
+    if state is not None:
+        return _compute_h_limbs(instance, assignment, domain_size, ctx, state)
     az = instance.matvec("A", assignment)
     bz = instance.matvec("B", assignment)
     cz = instance.matvec("C", assignment)
@@ -91,7 +96,6 @@ def _compute_h(
         bz += [0] * pad
         cz += [0] * pad
 
-    plan = ctx.plan
     g = COSET_GENERATOR
     a_coeffs, b_coeffs, c_coeffs = plan.ntt_many((az, bz, cz), inverse=True)
     a_ev, b_ev, c_ev = plan.coset_ntt_many((a_coeffs, b_coeffs, c_coeffs), g)
@@ -103,6 +107,41 @@ def _compute_h(
     h_coeffs = plan.coset_intt(h_ev, g)
     # deg h <= N - 2; the top coefficient must be zero for a satisfied
     # instance.
+    del h_coeffs[domain_size - 1:]
+    return h_coeffs
+
+
+def _compute_h_limbs(
+    instance: R1CSInstance,
+    assignment: Sequence[int],
+    domain_size: int,
+    ctx: _QuotientContext,
+    state: dict,
+) -> List[int]:
+    """The quotient chain under the vector engine: one assignment
+    conversion in, one coefficient conversion out, and everything between
+    (matvecs, 7 transforms, pointwise combine) in limb space.  Same
+    polynomial, hence identical proof bytes."""
+    np = _vector.np
+    plan = ctx.plan
+    g = COSET_GENERATOR
+    z = _vector.to_limbs(assignment)
+    prods = []
+    for which in ("A", "B", "C"):
+        mz = instance.matvec_limbs(which, z)
+        if mz is None:  # matrix below the kernel floor: scalar matvec
+            mz = _vector.to_limbs(instance.matvec(which, assignment))
+        if mz.shape[0] != domain_size:
+            padded = np.zeros((domain_size, 4), dtype=np.uint64)
+            padded[: mz.shape[0]] = mz
+            mz = padded
+        coeffs = plan.ntt_limbs(mz, inverse=True, state=state)
+        prods.append(plan.coset_ntt_limbs(coeffs, g, state=state))
+    a_ev, b_ev, c_ev = prods
+    h_ev = _vector.vec_mul_scalar(
+        _vector.vec_sub(_vector.vec_mul(a_ev, b_ev), c_ev), ctx.t_inv
+    )
+    h_coeffs = _vector.from_limbs(plan.coset_intt_limbs(h_ev, g, state=state))
     del h_coeffs[domain_size - 1:]
     return h_coeffs
 

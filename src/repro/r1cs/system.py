@@ -21,8 +21,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from operator import mul
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..field import vector as _vector
 from ..field.prime_field import BN254_FR_MODULUS
 
 R = BN254_FR_MODULUS
@@ -39,7 +40,7 @@ class FlatR1CS:
     re-reduces them.
     """
 
-    __slots__ = ("wires", "coeffs", "row_ptr")
+    __slots__ = ("wires", "coeffs", "row_ptr", "_vec")
 
     def __init__(self, rows: Sequence[SparseRow]):
         wires: List[int] = []
@@ -53,13 +54,44 @@ class FlatR1CS:
         self.wires = wires
         self.coeffs = coeffs
         self.row_ptr = row_ptr
+        self._vec: Dict[str, object] = {}
 
     @property
     def num_rows(self) -> int:
         return len(self.row_ptr) - 1
 
+    def vec_kernel(self):
+        """CSR kernel for the active vector engine, or ``None`` when the
+        scalar backend is active or the matrix is below the engine's
+        profitability floor.  Cached per implementation; dropping the
+        :class:`FlatR1CS` (``invalidate_flat_cache``) drops the kernels."""
+        impl = _vector.active_impl()
+        if impl is None or len(self.wires) < _vector.MATVEC_MIN_TERMS[impl]:
+            return None
+        kern = self._vec.get(impl)
+        if kern is None:
+            kern = self._vec[impl] = _vector.make_csr_kernel(
+                self.wires, self.coeffs, self.row_ptr
+            )
+        return kern
+
+    def matvec_limbs(self, z_limbs):
+        """Limb-domain matvec over a pre-converted ``(num_wires, 4)``
+        assignment, or ``None`` when no vector kernel is engaged — lets the
+        Groth16 quotient convert the assignment once for all three
+        matrices and stay in limb space."""
+        kern = self.vec_kernel()
+        if kern is None:
+            return None
+        return kern.matvec_limbs(z_limbs)
+
     def matvec(self, assignment: Sequence[int]) -> List[int]:
         """Dense matrix-vector product, one reduction per row."""
+        kern = self.vec_kernel()
+        if kern is not None:
+            return _vector.from_limbs(
+                kern.matvec_limbs(_vector.to_limbs(assignment))
+            )
         lookup = assignment.__getitem__
         wires = self.wires
         coeffs = self.coeffs
@@ -122,8 +154,23 @@ class R1CSInstance:
         """Drop the CSR snapshots after mutating the sparse rows."""
         self.__dict__.pop("_flat_cache", None)
 
+    def _vec_products(self, assignment: Sequence[int]):
+        """``(Az, Bz, Cz)`` limb arrays when every matrix has an engaged
+        vector kernel (one assignment conversion for all three), else
+        ``None``."""
+        kernels = [self.flat(w).vec_kernel() for w in ("A", "B", "C")]
+        if not all(k is not None for k in kernels):
+            return None
+        z = _vector.to_limbs(assignment)
+        return tuple(k.matvec_limbs(z) for k in kernels)
+
     def eval_products(self, assignment: Sequence[int]):
         """Yield (Az_q, Bz_q, Cz_q) per constraint."""
+        prods = self._vec_products(assignment)
+        if prods is not None:
+            az, bz, cz = (_vector.from_limbs(p) for p in prods)
+            yield from zip(az, bz, cz)
+            return
         yield from zip(
             self.flat("A").matvec(assignment),
             self.flat("B").matvec(assignment),
@@ -133,12 +180,25 @@ class R1CSInstance:
     def is_satisfied(self, assignment: Sequence[int]) -> bool:
         if len(assignment) != self.num_wires:
             raise ValueError("assignment length mismatch")
+        prods = self._vec_products(assignment)
+        if prods is not None:
+            # Entirely in limb space: Az o Bz and Cz are both canonical,
+            # so satisfaction is plain array equality.
+            az, bz, cz = prods
+            return bool(
+                _vector.np.array_equal(_vector.vec_mul(az, bz), cz)
+            )
         return all(a * b % R == c for a, b, c in self.eval_products(assignment))
 
     def matvec(self, which: str, assignment: Sequence[int]) -> List[int]:
         """Dense ``A z`` / ``B z`` / ``C z`` vector (used by the Groth16
         quotient and Spartan)."""
         return self.flat(which).matvec(assignment)
+
+    def matvec_limbs(self, which: str, z_limbs) -> Optional[object]:
+        """Limb-domain matvec against a pre-converted assignment, or
+        ``None`` when the vector kernel is not engaged for that matrix."""
+        return self.flat(which).matvec_limbs(z_limbs)
 
     def naive_matvec(self, which: str, assignment: Sequence[int]) -> List[int]:
         """Tuple-unpacking reference matvec, kept for equivalence tests and

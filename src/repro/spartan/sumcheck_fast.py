@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..field import vector as _vector
 from ..field.prime_field import BN254_FR_MODULUS, batch_inv_mod
 from .transcript import Transcript
 
@@ -179,6 +180,76 @@ _KERNELS = {
 }
 
 
+# -- vector-engine round kernels ---------------------------------------------
+#
+# Limb-domain twins of the scalar kernels above.  Every accumulator is an
+# exact sum of canonical residues (``vec_sum`` folds 32-bit half-limb column
+# sums through one Python int), so each round's evaluation list — and hence
+# the transcript and proof bytes — is identical to the scalar kernels'.
+# ``t`` extensions use the identity ``k*hi - (k-1)*lo = hi + (k-1)*(hi-lo)``:
+# one vec_sub per table yields both the t=2 and t=3 lines with adds only.
+
+def _vec_lines(t, half):
+    """``(lo, line2, line3, diff)`` rows for one table: the table values at
+    the bound variable = 0, 2, 3 (and the hi-lo difference)."""
+    lo, hi = t[:half], t[half:]
+    d = _vector.vec_sub(hi, lo)
+    l2 = _vector.vec_add(hi, d)
+    l3 = _vector.vec_add(l2, d)
+    return lo, l2, l3, d
+
+
+def _vec_round_prod2(tables, half, claim):
+    (al, a2, _a3, _), (bl, b2, _b3, _) = (
+        _vec_lines(t, half) for t in tables
+    )
+    e0 = _vector.vec_sum(_vector.vec_mul(al, bl))
+    e2 = _vector.vec_sum(_vector.vec_mul(a2, b2))
+    return [e0, (claim - e0) % R, e2]
+
+
+def _vec_round_prod3(tables, half, claim):
+    (al, a2, a3, _), (bl, b2, b3, _), (cl, c2, c3, _) = (
+        _vec_lines(t, half) for t in tables
+    )
+    e0 = _vector.vec_sum(_vector.vec_mul(_vector.vec_mul(al, bl), cl))
+    e2 = _vector.vec_sum(_vector.vec_mul(_vector.vec_mul(a2, b2), c2))
+    e3 = _vector.vec_sum(_vector.vec_mul(_vector.vec_mul(a3, b3), c3))
+    return [e0, (claim - e0) % R, e2, e3]
+
+
+def _vec_round_eq_abc(tables, half, claim):
+    (el, e2t, e3t, _), (al, a2, a3, _), (bl, b2, b3, _), (cl, c2, c3, _) = (
+        _vec_lines(t, half) for t in tables
+    )
+    e0 = _vector.vec_sum(
+        _vector.vec_mul(el, _vector.vec_sub(_vector.vec_mul(al, bl), cl))
+    )
+    e2 = _vector.vec_sum(
+        _vector.vec_mul(e2t, _vector.vec_sub(_vector.vec_mul(a2, b2), c2))
+    )
+    e3 = _vector.vec_sum(
+        _vector.vec_mul(e3t, _vector.vec_sub(_vector.vec_mul(a3, b3), c3))
+    )
+    return [e0, (claim - e0) % R, e2, e3]
+
+
+_VEC_KERNELS = {
+    "prod2": _vec_round_prod2,
+    "prod3": _vec_round_prod3,
+    "eq_abc": _vec_round_eq_abc,
+}
+
+
+def _vec_bind(t, half, r):
+    """Limb-domain :func:`_bind_tables` for one table:
+    ``lo + r * (hi - lo)``, truncated to ``half`` rows."""
+    lo, hi = t[:half], t[half:]
+    return _vector.vec_add(
+        lo, _vector.vec_mul_scalar(_vector.vec_sub(hi, lo), r)
+    )
+
+
 def sumcheck_prove(
     tables: List[List[int]],
     combine: Combine,
@@ -221,24 +292,48 @@ def sumcheck_prove(
                 f"degree {want_degree}"
             )
     num_rounds = size.bit_length() - 1
-    tables = [list(t) for t in tables]  # copy once; rounds bind in place
+    # The specialised kernels have limb-domain twins: big rounds run over
+    # (n, 4) limb arrays through the vector engine and drop back to the
+    # scalar loops once the tables shrink below the engine's profitability
+    # floor.  Both paths emit identical round evaluations (vec_sum is an
+    # exact column sum), so the transcript never notices the switch.
+    vec_fn = _VEC_KERNELS.get(kernel) if round_fn is not None else None
+    impl = _vector.active_impl() if vec_fn is not None else None
+    vtables = None
+    if impl is not None and size // 2 >= _vector.SUMCHECK_MIN_HALF[impl]:
+        vtables = [_vector.to_limbs(t) for t in tables]
+        tables = []
+    else:
+        tables = [list(t) for t in tables]  # copy once; rounds bind in place
     proof = SumcheckProof()
     r_point: List[int] = []
     current_claim = claim % R
 
     for _rnd in range(num_rounds):
-        half = len(tables[0]) // 2
-        if round_fn is not None:
-            evals = round_fn(tables, half, current_claim)
+        if vtables is not None:
+            half = vtables[0].shape[0] // 2
+            evals = vec_fn(vtables, half, current_claim)
         else:
-            evals = _round_generic(
-                tables, half, current_claim, combine, degree
-            )
+            half = len(tables[0]) // 2
+            if round_fn is not None:
+                evals = round_fn(tables, half, current_claim)
+            else:
+                evals = _round_generic(
+                    tables, half, current_claim, combine, degree
+                )
         proof.round_polys.append(evals)
         transcript.append_scalars(label + b"/round", evals)
         r = transcript.challenge_scalar(label + b"/challenge")
         r_point.append(r)
-        _bind_tables(tables, half, r)
+        if vtables is not None:
+            vtables = [_vec_bind(t, half, r) for t in vtables]
+            if half // 2 < _vector.SUMCHECK_MIN_HALF.get(
+                _vector.active_impl(), size
+            ):
+                tables = [_vector.from_limbs(t) for t in vtables]
+                vtables = None
+        else:
+            _bind_tables(tables, half, r)
         current_claim = _interpolate_eval(evals, r)
 
     finals = [t[0] for t in tables]
