@@ -15,6 +15,11 @@ jobs three ways:
   from a disk keystore and return wire bundles.  This is the PR-3
   multi-core number and must not fall behind the thread executor on
   multi-core machines.
+* ``remote_ops_per_sec`` — the same chunks dispatched over TCP to a
+  loopback fleet of worker processes (``repro.core.remote``), keys
+  rehydrated from a shared disk keystore.  Fleet startup happens outside
+  the timer; the number prices the frame/socket hop against the process
+  pool's pipe hop.
 
 Results merge into ``BENCH_prover.json`` (other sections untouched); the
 committed numbers are gated by ``check_regression.py --service``.
@@ -123,6 +128,42 @@ def _bench_service_process(jobs) -> float:
     return elapsed
 
 
+def _bench_service_remote(jobs) -> float:
+    """Remote-fleet serving: the same chunks over TCP to loopback worker
+    hosts.  The fleet is launched (and reaped) outside the timed window —
+    a fleet outlives many batches in production."""
+    from repro.core.remote_worker import launch_loopback_workers, stop_workers
+
+    with tempfile.TemporaryDirectory(prefix="bench-keystore-") as root:
+        addrs, procs = launch_loopback_workers(PROCESS_WORKERS, keystore_root=root)
+        try:
+            registry = CircuitRegistry()
+            keystore = KeyStore(root=root, registry=registry)
+            service = ProvingService(
+                workers=PROCESS_WORKERS,
+                registry=registry,
+                keystore=keystore,
+                executor="remote",
+                remote_workers=addrs,
+                chunk_policy=GroupChunkPolicy(
+                    workers=PROCESS_WORKERS, min_dispatch_seconds=0.0
+                ),
+            )
+            t0 = time.perf_counter()
+            for a, n, b, x, w in jobs:
+                service.submit(x, w, backend="groth16")
+            report = service.run(verify=True)
+            elapsed = time.perf_counter() - t0
+            service.close()
+            assert not report.errors, report.errors
+            assert len(report.results) == len(jobs)
+            assert report.verified
+            assert all(p == "remote" for p in report.placements.values())
+        finally:
+            stop_workers(procs)
+    return elapsed
+
+
 def run_overhead_check(
     threshold: float = 0.05,
     repeats: int = 5,
@@ -203,11 +244,13 @@ def run_service_bench(quick: bool = False, repeats: int = 1) -> Dict[str, Dict[s
         naive = min(_bench_naive(jobs) for _ in range(repeats))
         fast = min(_bench_service(jobs) for _ in range(repeats))
         proc = min(_bench_service_process(jobs) for _ in range(repeats))
+        rem = min(_bench_service_remote(jobs) for _ in range(repeats))
         out[f"{a}x{n}x{b}"] = {
             "jobs": num_jobs,
             "fast_ops_per_sec": num_jobs / fast,
             "naive_ops_per_sec": num_jobs / naive,
             "process_ops_per_sec": num_jobs / proc,
+            "remote_ops_per_sec": num_jobs / rem,
         }
     return out
 
@@ -246,8 +289,11 @@ def main(argv=None) -> int:
     for shape, entry in sorted(results.items()):
         ratio = entry["fast_ops_per_sec"] / entry["naive_ops_per_sec"]
         proc_ratio = entry["process_ops_per_sec"] / entry["fast_ops_per_sec"]
+        rem_ratio = entry["remote_ops_per_sec"] / entry["process_ops_per_sec"]
         print(
             f"  {shape} x{entry['jobs']:.0f} jobs: "
+            f"remote {entry['remote_ops_per_sec']:.2f} proofs/s "
+            f"({rem_ratio:.2f}x process), "
             f"process {entry['process_ops_per_sec']:.2f} proofs/s "
             f"({proc_ratio:.2f}x thread), "
             f"thread {entry['fast_ops_per_sec']:.2f} proofs/s, "

@@ -32,7 +32,8 @@ from bench_prover_hotpaths import DEFAULT_OUT, run_benchmarks  # noqa: E402
 # executor: committed on a single-core machine where it sits at thread
 # parity, so any multi-core runner only ever beats it — when the core
 # counts recorded in ``meta.cpu_count`` differ, its regressions demote to
-# warnings (see ``main``).
+# warnings (see ``main``).  ``remote_ops_per_sec`` gates the TCP
+# loopback fleet the same way (its workers scale with the core count).
 # ``batched_ops_per_sec`` (ntt section) gates the shared-plan ``ntt_many``
 # path that the Groth16 quotient pipeline rides.
 # The ``vector_*`` metrics (field section) gate the vectorized field
@@ -42,6 +43,7 @@ _GATED_METRICS = (
     "fast_ops_per_sec",
     "fixed_base_ops_per_sec",
     "process_ops_per_sec",
+    "remote_ops_per_sec",
     "batched_ops_per_sec",
     "vector_mulmod_ops_per_sec",
     "vector_addmod_ops_per_sec",
@@ -158,14 +160,16 @@ def main(argv=None) -> int:
         )
     regressions = list(compare(baseline, fresh, args.threshold, factor))
     checked = len(list(_paired_metrics(baseline, fresh)))
-    # The process-pool metric scales with core count; comparing a baseline
-    # committed on an m-core host against an n-core runner prices the
-    # hardware, not the code.  Warn instead of failing in that case.
+    # The pool metrics (process workers, loopback remote fleet) scale with
+    # core count; comparing a baseline committed on an m-core host against
+    # an n-core runner prices the hardware, not the code.  Warn instead of
+    # failing in that case.
+    _CORE_SCALED = ("process_ops_per_sec", "remote_ops_per_sec")
     base_cpu = baseline.get("meta", {}).get("cpu_count")
     fresh_cpu = fresh.get("meta", {}).get("cpu_count")
     if base_cpu is not None and fresh_cpu is not None and base_cpu != fresh_cpu:
-        demoted = [r for r in regressions if r[2] == "process_ops_per_sec"]
-        regressions = [r for r in regressions if r[2] != "process_ops_per_sec"]
+        demoted = [r for r in regressions if r[2] in _CORE_SCALED]
+        regressions = [r for r in regressions if r[2] not in _CORE_SCALED]
         for section, size, metric, expected, new, ratio in demoted:
             print(
                 f"warning: {section}[n={size}].{metric} below baseline "

@@ -29,9 +29,11 @@ from .errors import (
     PoisonJob,
     ProvingError,
     WorkerCrash,
+    WorkerUnavailable,
     wrap_error,
 )
-from .faultinject import FaultPlan, FaultSpec
+from .faultinject import FaultPlan, FaultSpec, scoped_env
+from .remote import RemoteProvingExecutor, WorkerRegistry
 from .resilience import BARE_POLICY, ChunkLease, RetryPolicy
 from .crpc import (
     ConstraintTheory,
@@ -73,8 +75,12 @@ __all__ = [
     "PoolOutcome",
     "ProcessProvingExecutor",
     "ProvingError",
+    "RemoteProvingExecutor",
     "RetryPolicy",
     "WorkerCrash",
+    "WorkerRegistry",
+    "WorkerUnavailable",
+    "scoped_env",
     "MatmulProofBundle",
     "MatmulProver",
     "MatmulVerifier",

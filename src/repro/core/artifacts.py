@@ -300,6 +300,33 @@ class KeyStore:
         if fd >= 0:
             os.close(fd)  # closing drops the flock
 
+    def adopt(
+        self,
+        a: int,
+        n: int,
+        b: int,
+        strategy: str,
+        backend_name: str,
+        blob: bytes,
+    ):
+        """Adopt serialized setup artifacts pushed from elsewhere (the
+        remote-fleet key-distribution path: a dispatcher answers a
+        worker's KEY_REQUEST with the keypair bytes it already holds).
+
+        Memory-only and allowed even on ``readonly`` stores — adoption is
+        the opposite of minting: the worker takes the dispatcher's
+        keypair verbatim, which is exactly the discipline ``readonly``
+        exists to enforce.  Raises ``ValueError`` on malformed bytes.
+        """
+        backend = get_backend(backend_name)
+        if not backend.requires_setup:
+            return None
+        circuit = self.registry.get(a, n, b, strategy)
+        artifacts = backend.artifacts_from_bytes(blob, circuit)
+        key = (a, n, b, strategy, backend_name)
+        with self._guard:
+            return self._artifacts.setdefault(key, artifacts)
+
     def setup_seconds(
         self, a: int, n: int, b: int, strategy: str, backend_name: str
     ) -> Optional[float]:

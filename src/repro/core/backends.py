@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import abc
 import hashlib
+import os
 import secrets
 import time
 from dataclasses import dataclass
@@ -379,19 +380,46 @@ def prove_jobs_to_wire(
     (pickle-safe, so it survives the process boundary): the dispatching
     executor can then quarantine the culprit directly and re-dispatch the
     rest of the chunk instead of bisecting blind.
+
+    With ``REPRO_WORKER_RNG_SEED`` set (a test hook), each job proves
+    under a deterministic rng derived from ``(seed, job_id)`` — the same
+    job then yields byte-identical bundles no matter *which* worker,
+    process, or host ran it, which is how the executor-equivalence tests
+    compare tiers at the byte level.  Only backends that thread ``rng``
+    through (Groth16) become deterministic; an explicit ``rng`` argument
+    always wins over the hook.
     """
     from .errors import wrap_error
 
     backend = get_backend(backend_name)
+    seed = os.environ.get("REPRO_WORKER_RNG_SEED")
     out = []
     for job_id, x_mat, w_mat in jobs:
+        job_rng = rng
+        if job_rng is None and seed is not None:
+            job_rng = _seeded_job_rng(seed, job_id)
         t0 = time.perf_counter()
         try:
-            bundle = backend.prove(circuit, artifacts, x_mat, w_mat, rng)
+            bundle = backend.prove(circuit, artifacts, x_mat, w_mat, job_rng)
         except Exception as exc:  # noqa: BLE001 — typed + attributed
             raise wrap_error(exc, job_id=job_id) from exc
         out.append((job_id, bundle.to_bytes(), time.perf_counter() - t0))
     return out
+
+
+def _seeded_job_rng(seed: str, job_id: int):
+    """A per-job deterministic rng stream: sha256(seed ‖ job_id ‖ counter)."""
+    counter = 0
+
+    def rng() -> int:
+        nonlocal counter
+        digest = hashlib.sha256(
+            f"{seed}|{job_id}|{counter}".encode()
+        ).digest()
+        counter += 1
+        return int.from_bytes(digest, "big")
+
+    return rng
 
 
 # -- registry ------------------------------------------------------------------

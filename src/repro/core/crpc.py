@@ -46,9 +46,19 @@ def crpc_identity_holds(
 
     ``sum_{ij} Z^{ib+j} y_ij == sum_k X_k(Z) * W_k(Z)``.
     """
+    if not x_mat or not x_mat[0] or not w_mat or not w_mat[0]:
+        raise ValueError("crpc identity needs non-empty matrices")
     a = len(x_mat)
     n = len(x_mat[0])
     b = len(w_mat[0])
+    if len(w_mat) != n:
+        raise ValueError(
+            f"shape mismatch: X is {a}x{n} but W has {len(w_mat)} rows"
+        )
+    if any(len(row) != n for row in x_mat) or any(len(row) != b for row in w_mat):
+        raise ValueError("ragged matrix rows")
+    if len(y_mat) != a or any(len(row) != b for row in y_mat):
+        raise ValueError(f"Y must be {a}x{b}")
     del a
     lhs = pack_y(y_mat, b, z)
     rhs = sum(
@@ -70,6 +80,10 @@ class ConstraintTheory:
 
 
 def theory_counts(a: int, n: int, b: int, strategy: str) -> ConstraintTheory:
+    if min(a, n, b) < 1:
+        # crpc_psq/zen count ``n - 1`` packing variables, so n == 0 would
+        # silently yield negative totals instead of an impossible shape.
+        raise ValueError(f"matmul dimensions must be positive, got {a}x{n}x{b}")
     io = a * n + n * b + a * b  # x, w, y wires
     if strategy == "vanilla":
         return ConstraintTheory(

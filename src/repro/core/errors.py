@@ -160,6 +160,41 @@ class PoisonJob(ProvingError):
     isolate = True
 
 
+class WorkerUnavailable(ProvingError):
+    """No worker could be reached to run the chunk (connection refused,
+    empty registry, every host marked dead).  Retryable — a host may come
+    back, or another may take the chunk — but never bisected: the jobs
+    are innocent, the *fleet* is the problem.  Exhausted retries go
+    chunk-fatal so the degradation ladder re-serves the group locally."""
+
+    kind = "worker-unavailable"
+    retryable = True
+    isolate = False
+
+
+#: kind tag -> class, for rehydrating a typed error that crossed the wire
+#: as a ``(kind, message, job_id)`` payload (see ``serialize.remote_error_*``).
+ERROR_KINDS = {
+    cls.kind: cls
+    for cls in (
+        ProvingError,
+        WorkerCrash,
+        ChunkTimeout,
+        CorruptEnvelope,
+        MissingKey,
+        PoisonJob,
+        WorkerUnavailable,
+    )
+}
+
+
+def error_from_kind(kind: str, message: str, **context) -> ProvingError:
+    """Rebuild a typed error from its wire ``kind`` tag (unknown tags
+    degrade to the base class — a newer worker must not crash an older
+    dispatcher)."""
+    return ERROR_KINDS.get(kind, ProvingError)(message, **context)
+
+
 def wrap_error(exc: BaseException, **context) -> ProvingError:
     """Classify an arbitrary exception into the taxonomy.
 

@@ -55,11 +55,19 @@ KINDS = ("crash", "hang", "corrupt", "missing_key", "poison")
 
 @dataclass
 class FaultSpec:
-    """One injected fault: which jobs, what failure, how many times."""
+    """One injected fault: which jobs, what failure, how many times.
+
+    ``tier`` scopes the spec to one executor tier (``"process"``,
+    ``"remote"``, ``"inline"``); ``None`` means any tier — but note that
+    :func:`scoped_env` only forwards *explicitly* tier-addressed specs
+    across a launch boundary, so an untiered plan never leaks into a
+    remote worker's environment.
+    """
 
     kind: str
     job_id: Optional[int] = None
     strategy: Optional[str] = None
+    tier: Optional[str] = None  # None = any tier (local process tree only)
     times: Optional[int] = 1  # None = every attempt
     seconds: float = 30.0  # worker hang duration (lease must be shorter)
     inline_seconds: float = 0.01  # simulated hang for in-process executors
@@ -68,7 +76,14 @@ class FaultSpec:
         if self.kind not in KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
 
-    def matches(self, job_id: Optional[int], strategy: Optional[str]) -> bool:
+    def matches(
+        self,
+        job_id: Optional[int],
+        strategy: Optional[str],
+        tier: Optional[str] = None,
+    ) -> bool:
+        if self.tier is not None and tier is not None and self.tier != tier:
+            return False
         if self.job_id is not None and self.job_id != job_id:
             return False
         if self.strategy is not None and self.strategy != strategy:
@@ -76,7 +91,9 @@ class FaultSpec:
         return True
 
     def ident(self) -> str:
-        return f"{self.kind}-j{self.job_id}-s{self.strategy}"
+        # tier is part of the identity: two otherwise-equal specs aimed at
+        # different tiers must not share O_EXCL firing markers.
+        return f"{self.kind}-j{self.job_id}-s{self.strategy}-t{self.tier}"
 
 
 @dataclass
@@ -144,8 +161,18 @@ class FaultPlan:
             if os.path.exists(os.path.join(self.state_dir, f"{spec.ident()}.{n}"))
         )
 
+    # -- scoping ----------------------------------------------------------------
+    def scoped(self, tier: str) -> Optional["FaultPlan"]:
+        """The subset of this plan explicitly addressed to ``tier``, or
+        ``None`` when nothing is.  Untiered specs do NOT cross a launch
+        boundary — that ambient leak is the bug this exists to close."""
+        specs = [s for s in self.specs if s.tier == tier]
+        if not specs:
+            return None
+        return FaultPlan(specs=specs, state_dir=self.state_dir)
+
     # -- hook points -----------------------------------------------------------
-    def fire_worker(self, jobs) -> None:
+    def fire_worker(self, jobs, tier: Optional[str] = None) -> None:
         """Worker-process entry hook: ``jobs`` is the decoded chunk
         (sequence of ``(job_id, x, w, strategy, backend)``).  A matching
         chunk-level fault acts on the whole chunk — which is exactly what
@@ -154,7 +181,7 @@ class FaultPlan:
         for spec in self.specs:
             if spec.kind == "corrupt":
                 continue  # handled on the result path
-            if not any(spec.matches(j[0], j[3]) for j in jobs):
+            if not any(spec.matches(j[0], j[3], tier) for j in jobs):
                 continue
             if not self._should_fire(spec):
                 continue
@@ -167,17 +194,17 @@ class FaultPlan:
                 raise KeyError("injected: missing key")
             if spec.kind == "poison":
                 job_id = next(
-                    j[0] for j in jobs if spec.matches(j[0], j[3])
+                    j[0] for j in jobs if spec.matches(j[0], j[3], tier)
                 )
                 raise ProvingError("injected: poison job", job_id=job_id)
 
-    def mangle_results(self, blob: bytes, jobs) -> bytes:
+    def mangle_results(self, blob: bytes, jobs, tier: Optional[str] = None) -> bytes:
         """Worker-process exit hook: corrupt the result envelope for a
         matching ``"corrupt"`` spec (transport-fault simulation)."""
         for spec in self.specs:
             if spec.kind != "corrupt":
                 continue
-            if not any(spec.matches(j[0], j[3]) for j in jobs):
+            if not any(spec.matches(j[0], j[3], tier) for j in jobs):
                 continue
             if not self._should_fire(spec):
                 continue
@@ -188,14 +215,19 @@ class FaultPlan:
             return bytes(mangled)
         return blob
 
-    def fire_inline(self, job_id: int, strategy: Optional[str] = None) -> None:
+    def fire_inline(
+        self,
+        job_id: int,
+        strategy: Optional[str] = None,
+        tier: Optional[str] = None,
+    ) -> None:
         """In-process (serial/thread executor) per-job hook, called right
         before each prove attempt; raises the typed error the process
         tier would have produced."""
         for spec in self.specs:
             if spec.kind == "corrupt":
                 continue  # no wire envelope exists on the inline path
-            if not spec.matches(job_id, strategy):
+            if not spec.matches(job_id, strategy, tier):
                 continue
             if not self._should_fire(spec):
                 continue
@@ -228,3 +260,19 @@ def active_plan(env=os.environ) -> Optional[FaultPlan]:
     if plan is None:
         plan = _PARSED[blob] = FaultPlan.from_json(blob)
     return plan
+
+
+def scoped_env(tier: str, env=os.environ) -> dict:
+    """A copy of ``env`` safe to hand a ``tier`` worker launch: the
+    ambient fault plan is stripped, and only specs explicitly addressed
+    to ``tier`` are re-installed.  This is the boundary that keeps a plan
+    scoped to one executor's workers from leaking into every further
+    subprocess (or across the wire to a remote host)."""
+    out = dict(env)
+    out.pop(ENV_VAR, None)
+    plan = active_plan(env)
+    if plan is not None:
+        sub = plan.scoped(tier)
+        if sub is not None:
+            sub.install(out)
+    return out

@@ -121,7 +121,7 @@ def _prove_group_worker(keystore_root: Optional[str], jobs_blob: bytes) -> bytes
         return serialize.job_results_to_bytes([])
     plan = faultinject.active_plan()
     if plan is not None:
-        plan.fire_worker(jobs)
+        plan.fire_worker(jobs, tier="process")
     _, x0, w0, strategy, backend_name = jobs[0]
     if os.environ.get(_CRASH_ENV) == strategy:
         os._exit(13)  # simulated segfault (legacy test hook)
@@ -144,7 +144,7 @@ def _prove_group_worker(keystore_root: Optional[str], jobs_blob: bytes) -> bytes
     )
     blob = serialize.job_results_to_bytes(results)
     if plan is not None:
-        blob = plan.mangle_results(blob, jobs)
+        blob = plan.mangle_results(blob, jobs, tier="process")
     return blob
 
 
@@ -199,15 +199,23 @@ class GroupChunkPolicy:
             cost.constraints + cost.terms + cost.wires
         ) * _SECONDS_PER_COST_UNIT
 
-    def plan(self, key, n_jobs: int) -> int:
-        """Number of process chunks for the group; ``0`` = serve inline."""
+    def plan(self, key, n_jobs: int, workers: Optional[int] = None) -> int:
+        """Number of dispatch chunks for the group; ``0`` = serve inline.
+
+        ``workers`` overrides the static worker count for this decision —
+        the remote executor passes its registry's *live* worker count, so
+        placement follows the fleet's heartbeat state (an all-dead fleet
+        plans ``0`` chunks and the group stays in-process)."""
         if n_jobs <= 0:
+            return 0
+        limit = self.workers if workers is None else workers
+        if limit <= 0:
             return 0
         total = self.job_seconds(key) * n_jobs
         if total < self.min_dispatch_seconds:
             return 0
         return min(
-            max(1, self.workers),
+            max(1, limit),
             n_jobs,
             max(1, math.ceil(total / self.target_chunk_seconds)),
         )
@@ -243,6 +251,88 @@ class PoolOutcome:
     attempts: Dict[ChunkTag, int] = field(default_factory=dict)
     #: jobs bisected down and confirmed poisonous (never retried again)
     quarantined: List[PoisonJob] = field(default_factory=list)
+
+
+def resolve_chunk(
+    dispatch,
+    policy: RetryPolicy,
+    blob: bytes,
+    timeout_s: Optional[float],
+    err: Optional[ProvingError],
+    attempts: int,
+    tag: ChunkTag,
+) -> Tuple[List[Tuple[int, bytes, float]], List[PoisonJob], int]:
+    """Retry, then bisect, one failed (or interrupted) chunk.
+
+    ``dispatch`` is the transport: a callable ``(jobs_blob, timeout_s) ->
+    results_blob`` that runs one chunk somewhere (a fresh single-worker
+    pool, a remote host over TCP) — this accounting doesn't care which,
+    which is what lets :class:`ProcessProvingExecutor` and
+    :class:`~repro.core.remote.RemoteProvingExecutor` share it verbatim.
+
+    Returns ``(result_triples, quarantined_jobs, attempts_used)``; raises
+    the final typed error if the chunk is unrecoverable as a whole
+    (non-isolatable failure, or an unreadable jobs blob).  ``attempts``
+    counts dispatches already charged to this chunk (``0`` for an
+    innocent re-dispatch after a pool teardown).
+    """
+    while err is None or (
+        policy.is_retryable(err) and attempts < policy.max_attempts
+    ):
+        if err is not None:
+            time.sleep(policy.backoff_seconds(tag, attempts))
+        attempts += 1
+        try:
+            raw = dispatch(blob, timeout_s)
+            return serialize.job_results_from_bytes(raw), [], attempts
+        except Exception as exc:  # noqa: BLE001 — classified and looped
+            err = wrap_error(exc, attempts=attempts)
+    if policy.bisect and err.isolate:
+        try:
+            jobs = serialize.prove_jobs_from_bytes(blob)
+        except ValueError:
+            raise err from None  # unreadable chunk: nothing to bisect
+        if len(jobs) == 1:
+            return (
+                [],
+                [
+                    PoisonJob(
+                        f"quarantined after {attempts} attempt(s): "
+                        f"{err.kind}: {err.message}",
+                        job_id=jobs[0][0],
+                        attempts=attempts,
+                    )
+                ],
+                attempts,
+            )
+        if err.job_id is not None and any(j[0] == err.job_id for j in jobs):
+            # The worker attributed the failure: split the culprit out
+            # directly (one confirmation run) instead of bisecting.
+            parts = [
+                [j for j in jobs if j[0] == err.job_id],
+                [j for j in jobs if j[0] != err.job_id],
+            ]
+        else:
+            mid = len(jobs) // 2
+            parts = [jobs[:mid], jobs[mid:]]
+        triples: List[Tuple[int, bytes, float]] = []
+        poison: List[PoisonJob] = []
+        for part in parts:
+            if not part:
+                continue
+            sub_triples, sub_poison, _ = resolve_chunk(
+                dispatch,
+                policy,
+                serialize.prove_jobs_to_bytes(part),
+                timeout_s,
+                None,
+                attempts=0,
+                tag=tag,
+            )
+            triples.extend(sub_triples)
+            poison.extend(sub_poison)
+        return triples, poison, attempts
+    raise err
 
 
 class ProcessProvingExecutor:
@@ -320,8 +410,17 @@ class ProcessProvingExecutor:
         if pool is not None:
             _stop_pool(pool)
 
-    def start(self, tasks: Sequence[Tuple[ChunkTag, bytes]]):
+    def start(
+        self,
+        tasks: Sequence[Tuple[ChunkTag, bytes]],
+        timeouts: Optional[Dict[ChunkTag, float]] = None,
+    ):
         """Submit ``(tag, jobs_blob)`` chunks without blocking.
+
+        ``timeouts`` is accepted for interface parity with
+        :class:`~repro.core.remote.RemoteProvingExecutor` (which needs
+        lease deadlines at dispatch time to bound its sockets); here
+        leases are enforced in :meth:`finish`, so it is unused.
 
         Returns the ``(tag, future)`` list for :meth:`finish`.  Callers
         overlap work by submitting first, doing in-process serving, then
@@ -452,70 +551,9 @@ class ProcessProvingExecutor:
         attempts: int,
         tag: ChunkTag,
     ) -> Tuple[List[Tuple[int, bytes, float]], List[PoisonJob], int]:
-        """Retry, then bisect, one failed (or interrupted) chunk.
-
-        Returns ``(result_triples, quarantined_jobs, attempts_used)``;
-        raises the final typed error if the chunk is unrecoverable as a
-        whole (non-isolatable failure, or an unreadable jobs blob).
-        ``attempts`` counts dispatches already charged to this chunk
-        (``0`` for an innocent re-dispatch after a pool teardown).
-        """
-        policy = self.retry_policy
-        while err is None or (
-            policy.is_retryable(err) and attempts < policy.max_attempts
-        ):
-            if err is not None:
-                time.sleep(policy.backoff_seconds(tag, attempts))
-            attempts += 1
-            try:
-                raw = self._run_solo(blob, timeout_s)
-                return serialize.job_results_from_bytes(raw), [], attempts
-            except Exception as exc:  # noqa: BLE001 — classified and looped
-                err = wrap_error(exc, attempts=attempts)
-        if policy.bisect and err.isolate:
-            try:
-                jobs = serialize.prove_jobs_from_bytes(blob)
-            except ValueError:
-                raise err from None  # unreadable chunk: nothing to bisect
-            if len(jobs) == 1:
-                return (
-                    [],
-                    [
-                        PoisonJob(
-                            f"quarantined after {attempts} attempt(s): "
-                            f"{err.kind}: {err.message}",
-                            job_id=jobs[0][0],
-                            attempts=attempts,
-                        )
-                    ],
-                    attempts,
-                )
-            if err.job_id is not None and any(j[0] == err.job_id for j in jobs):
-                # The worker attributed the failure: split the culprit out
-                # directly (one confirmation run) instead of bisecting.
-                parts = [
-                    [j for j in jobs if j[0] == err.job_id],
-                    [j for j in jobs if j[0] != err.job_id],
-                ]
-            else:
-                mid = len(jobs) // 2
-                parts = [jobs[:mid], jobs[mid:]]
-            triples: List[Tuple[int, bytes, float]] = []
-            poison: List[PoisonJob] = []
-            for part in parts:
-                if not part:
-                    continue
-                sub_triples, sub_poison, _ = self._resolve_chunk(
-                    serialize.prove_jobs_to_bytes(part),
-                    timeout_s,
-                    None,
-                    attempts=0,
-                    tag=tag,
-                )
-                triples.extend(sub_triples)
-                poison.extend(sub_poison)
-            return triples, poison, attempts
-        raise err
+        return resolve_chunk(
+            self._run_solo, self.retry_policy, blob, timeout_s, err, attempts, tag
+        )
 
     def _run_solo(self, blob: bytes, timeout_s: Optional[float]) -> bytes:
         """One dispatch of one chunk in a fresh single-worker pool, under

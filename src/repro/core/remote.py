@@ -1,0 +1,555 @@
+"""Remote proving fleet: chunk dispatch to worker hosts over TCP.
+
+This is ROADMAP direction 1 — the step from "all the cores in one box" to
+"all the boxes".  The process-pool executor (:mod:`repro.core.pool`)
+already ships circuit groups as bytes-only job envelopes and gets
+wire-format bundles back; this module moves those same bytes over a
+socket instead of a pipe:
+
+* **Frames.**  Every message is ``MAGIC ‖ kind ‖ u32 length ‖ payload``
+  (:func:`send_frame` / :func:`recv_frame`).  The length prefix is capped
+  by :data:`MAX_FRAME` *before* any allocation, the magic pins the
+  protocol, and a connection that dies mid-frame raises — a remote peer
+  is untrusted input, so the decode discipline of
+  :mod:`repro.serialize` applies to the transport layer too.
+* **One connection per chunk dispatch.**  The dispatcher connects, sends
+  a ``JOBS`` frame, and waits for ``RESULTS`` or a typed ``ERROR``; a
+  worker that misses key material interleaves a ``KEY_REQUEST`` /
+  ``KEY_PUSH`` exchange (the existing keypair wire format) before
+  proving.  No connection state outlives a chunk, so a re-dispatch after
+  any failure starts clean on whichever worker the registry offers next.
+* **Failure accounting is reused wholesale.**  The socket layer maps
+  failures into the PR-6 taxonomy — connection refused/empty fleet ⇒
+  :class:`~repro.core.errors.WorkerUnavailable`, connection lost
+  mid-chunk ⇒ :class:`~repro.core.errors.WorkerCrash`, socket deadline
+  (the chunk lease) ⇒ :class:`~repro.core.errors.ChunkTimeout` — and
+  hands them to the *same* :func:`repro.core.pool.resolve_chunk`
+  retry/bisect/quarantine loop the process pool uses.  ``ChunkLease``
+  and ``RetryPolicy`` never learn whether the chunk died in a subprocess
+  or across a socket.
+* **Registry + heartbeats.**  :class:`WorkerRegistry` round-robins
+  dispatches over the workers currently believed healthy, marks hosts
+  dead on connection failures, and (optionally, on a background thread)
+  revives them via ``PING``/``PONG`` probes; the live count feeds
+  :meth:`repro.core.pool.GroupChunkPolicy.plan` so placement follows the
+  fleet's actual capacity.
+
+The server side lives in :mod:`repro.core.remote_worker`
+(``python -m repro.core.remote_worker``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# NOTE: ``serialize`` is used via attribute access only — this module is
+# imported from ``repro.core.__init__`` while ``repro.serialize`` may be
+# mid-initialisation (serialize itself imports ``core.errors``), so
+# ``from ..serialize import <name>`` would be a circular-import landmine.
+from .. import serialize
+from .errors import (
+    ChunkTimeout,
+    CorruptEnvelope,
+    WorkerCrash,
+    WorkerUnavailable,
+    error_from_kind,
+    wrap_error,
+)
+from .pool import ChunkTag, PoolOutcome, resolve_chunk
+from .resilience import RetryPolicy
+
+# -- frame protocol --------------------------------------------------------------
+
+MAGIC = b"RPV1"
+
+#: hard ceiling on a frame payload: nothing in this stack legitimately
+#: ships more than a few MiB per chunk, and an adversarial (or corrupt)
+#: length prefix must never size an allocation.
+MAX_FRAME = 1 << 26  # 64 MiB
+
+# frame kinds (one byte on the wire)
+JOBS = 1          # dispatcher -> worker: prove_jobs envelope
+RESULTS = 2       # worker -> dispatcher: job_results envelope
+ERROR = 3         # worker -> dispatcher: remote_error payload (typed)
+KEY_REQUEST = 4   # worker -> dispatcher: circuit_key payload
+KEY_PUSH = 5      # dispatcher -> worker: keypair bytes (empty = unavailable)
+PING = 6          # dispatcher -> worker: heartbeat probe (empty payload)
+PONG = 7          # worker -> dispatcher: JSON stats payload
+SHUTDOWN = 8      # dispatcher -> worker: drain and exit (empty payload)
+
+FRAME_KINDS = (JOBS, RESULTS, ERROR, KEY_REQUEST, KEY_PUSH, PING, PONG, SHUTDOWN)
+
+_HEADER = struct.Struct(">4sBI")
+
+
+def encode_frame(kind: int, payload: bytes) -> bytes:
+    """``MAGIC ‖ kind ‖ u32 length ‖ payload``; rejects oversize payloads
+    on the way *out* too — a frame this side cannot send, no peer could
+    have accepted."""
+    if kind not in FRAME_KINDS:
+        raise serialize.SerializationError(f"unknown frame kind {kind}")
+    if len(payload) > MAX_FRAME:
+        raise serialize.SerializationError(
+            f"frame payload {len(payload)} exceeds MAX_FRAME {MAX_FRAME}"
+        )
+    return _HEADER.pack(MAGIC, kind, len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, kind: int, payload: bytes = b"") -> None:
+    sock.sendall(encode_frame(kind, payload))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Exactly ``n`` bytes or ``ConnectionError`` — a peer that goes away
+    mid-frame must fail loudly, never yield a short read downstream."""
+    chunks = []
+    remaining = n
+    while remaining:
+        data = sock.recv(min(remaining, 1 << 20))
+        if not data:
+            raise ConnectionError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(data)
+        remaining -= len(data)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Tuple[int, bytes]]:
+    """One validated frame, or ``None`` on a clean EOF at a frame
+    boundary (the peer hung up between messages — a normal end of
+    conversation, unlike an EOF *inside* a frame, which raises).
+
+    Raises :class:`~repro.serialize.SerializationError` (a typed
+    ``ValueError``) on a bad magic, unknown kind, or a length prefix
+    above :data:`MAX_FRAME` — checked before a single payload byte is
+    read, so a hostile prefix never sizes an allocation.
+    """
+    first = sock.recv(1)
+    if not first:
+        return None
+    header = first + _recv_exact(sock, _HEADER.size - 1)
+    magic, kind, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise serialize.SerializationError(f"bad frame magic {magic!r}", offset=0)
+    if kind not in FRAME_KINDS:
+        raise serialize.SerializationError(f"unknown frame kind {kind}", offset=4)
+    if length > MAX_FRAME:
+        raise serialize.SerializationError(
+            f"frame length {length} exceeds MAX_FRAME {MAX_FRAME}", offset=5
+        )
+    payload = _recv_exact(sock, length) if length else b""
+    return kind, payload
+
+
+# -- worker registry -------------------------------------------------------------
+
+def parse_worker_addr(spec) -> Tuple[str, int]:
+    """``"host:port"`` / ``(host, port)`` -> ``(host, int(port))``."""
+    if isinstance(spec, str):
+        host, _, port = spec.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"worker address must be host:port, got {spec!r}")
+        return host, int(port)
+    host, port = spec
+    return str(host), int(port)
+
+
+@dataclass
+class WorkerInfo:
+    """Registry-side view of one worker host."""
+
+    host: str
+    port: int
+    healthy: bool = True  # presumed innocent until a connection fails
+    last_seen: float = 0.0  # monotonic time of the last successful contact
+    stats: dict = field(default_factory=dict)  # last PONG payload
+
+    @property
+    def addr(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+
+class WorkerRegistry:
+    """Tracks worker liveness and hands out dispatch targets.
+
+    Dispatches round-robin over the currently-healthy set; a connection
+    failure marks the host dead, and a successful ``PING`` (one-shot via
+    :meth:`check_now`, or periodic via :meth:`start_heartbeat`) revives
+    it.  All methods are thread-safe — dispatch threads and the heartbeat
+    thread share this object.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence,
+        connect_timeout: float = 2.0,
+        heartbeat_seconds: float = 0.0,
+    ):
+        self.connect_timeout = connect_timeout
+        self.heartbeat_seconds = heartbeat_seconds
+        self._workers: List[WorkerInfo] = [
+            WorkerInfo(*parse_worker_addr(a)) for a in addresses
+        ]
+        self._guard = threading.Lock()
+        self._rr = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def workers(self) -> List[WorkerInfo]:
+        with self._guard:
+            return list(self._workers)
+
+    def healthy(self) -> List[WorkerInfo]:
+        with self._guard:
+            return [w for w in self._workers if w.healthy]
+
+    def live_count(self) -> int:
+        return len(self.healthy())
+
+    def next_worker(self) -> Tuple[str, int]:
+        """The next healthy worker, round-robin; raises
+        :class:`~repro.core.errors.WorkerUnavailable` when the whole
+        fleet is dead or empty."""
+        with self._guard:
+            live = [w for w in self._workers if w.healthy]
+            if not live:
+                raise WorkerUnavailable(
+                    f"no healthy workers ({len(self._workers)} registered)"
+                )
+            worker = live[self._rr % len(live)]
+            self._rr += 1
+            return worker.addr
+
+    def _find(self, addr: Tuple[str, int]) -> Optional[WorkerInfo]:
+        for w in self._workers:
+            if w.addr == addr:
+                return w
+        return None
+
+    def mark_dead(self, addr: Tuple[str, int]) -> None:
+        with self._guard:
+            w = self._find(addr)
+            if w is not None:
+                w.healthy = False
+
+    def mark_alive(self, addr: Tuple[str, int], stats: Optional[dict] = None) -> None:
+        with self._guard:
+            w = self._find(addr)
+            if w is not None:
+                w.healthy = True
+                w.last_seen = time.monotonic()
+                if stats is not None:
+                    w.stats = stats
+
+    def ping(self, addr: Tuple[str, int]) -> Optional[dict]:
+        """One ``PING``/``PONG`` round trip; updates liveness and returns
+        the worker's stats payload (``None`` if unreachable)."""
+        try:
+            with socket.create_connection(addr, timeout=self.connect_timeout) as s:
+                s.settimeout(self.connect_timeout)
+                send_frame(s, PING)
+                frame = recv_frame(s)
+        except (OSError, ValueError):
+            self.mark_dead(addr)
+            return None
+        if frame is None or frame[0] != PONG:
+            self.mark_dead(addr)
+            return None
+        try:
+            stats = json.loads(frame[1].decode("utf-8")) if frame[1] else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            stats = {}
+        self.mark_alive(addr, stats)
+        return stats
+
+    def check_now(self) -> int:
+        """Probe every registered worker once; returns the live count."""
+        for w in self.workers():
+            self.ping(w.addr)
+        return self.live_count()
+
+    # -- heartbeat loop -----------------------------------------------------------
+    def start_heartbeat(self) -> None:
+        if self.heartbeat_seconds <= 0 or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._heartbeat_loop, name="worker-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_seconds):
+            self.check_now()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=2 * self.heartbeat_seconds + 1.0)
+
+
+# -- the executor ----------------------------------------------------------------
+
+class RemoteProvingExecutor:
+    """Runs same-circuit job chunks on a fleet of TCP worker hosts.
+
+    Drop-in interface twin of
+    :class:`~repro.core.pool.ProcessProvingExecutor` — ``start`` /
+    ``finish`` / ``run`` / ``shutdown`` plus a ``breakages`` counter the
+    service's degradation ladder reads — so
+    :class:`~repro.core.service.ProvingService` drives both through one
+    code path.
+
+    ``key_provider`` answers workers' ``KEY_REQUEST`` frames: a callable
+    ``(shape, strategy, backend_name) -> bytes`` returning serialized
+    setup artifacts (empty/None = unavailable, the worker then fails the
+    chunk with ``MissingKey``).  The service wires its KeyStore in, which
+    is what lets a diskless worker prove Groth16 groups.
+
+    ``default_timeout_seconds`` bounds a dispatch whose chunk carries no
+    lease (the retry policy's indefinite-lease configuration) — a remote
+    peer can silently vanish in ways a local subprocess cannot, so
+    "indefinite" still gets a generous socket deadline.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence,
+        retry_policy: Optional[RetryPolicy] = None,
+        key_provider=None,
+        connect_timeout: float = 2.0,
+        heartbeat_seconds: float = 0.0,
+        default_timeout_seconds: float = 600.0,
+    ):
+        self.registry = WorkerRegistry(
+            workers,
+            connect_timeout=connect_timeout,
+            heartbeat_seconds=heartbeat_seconds,
+        )
+        self.workers = max(1, len(self.registry.workers()))
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.key_provider = key_provider
+        self.connect_timeout = connect_timeout
+        self.default_timeout_seconds = default_timeout_seconds
+        #: fleet-level casualties (dead/hung/unreachable workers) — the
+        #: degradation-ladder signal, symmetric with the process pool's
+        #: pool-teardown count
+        self.breakages = 0
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self.registry.start_heartbeat()
+
+    # -- transport ---------------------------------------------------------------
+    def _dispatch(self, blob: bytes, timeout_s: Optional[float]) -> bytes:
+        """One chunk on one worker over one connection; returns the raw
+        job-results envelope or raises a typed
+        :class:`~repro.core.errors.ProvingError`."""
+        addr = self.registry.next_worker()
+        deadline = timeout_s if timeout_s is not None else self.default_timeout_seconds
+        try:
+            sock = socket.create_connection(addr, timeout=self.connect_timeout)
+        except OSError as exc:
+            self.registry.mark_dead(addr)
+            self.breakages += 1
+            raise WorkerUnavailable(
+                f"worker {addr[0]}:{addr[1]} unreachable: {exc}"
+            ) from exc
+        try:
+            sock.settimeout(deadline)
+            send_frame(sock, JOBS, blob)
+            while True:
+                try:
+                    frame = recv_frame(sock)
+                except socket.timeout:
+                    # The chunk lease expired on the wire: presume the
+                    # worker hung, avoid it until a heartbeat revives it.
+                    self.registry.mark_dead(addr)
+                    self.breakages += 1
+                    raise ChunkTimeout(
+                        f"chunk lease expired on worker {addr[0]}:{addr[1]}",
+                        deadline_seconds=deadline,
+                    ) from None
+                except (ConnectionError, OSError) as exc:
+                    self.registry.mark_dead(addr)
+                    self.breakages += 1
+                    raise WorkerCrash(
+                        f"connection to worker {addr[0]}:{addr[1]} lost "
+                        f"mid-chunk: {exc}"
+                    ) from exc
+                except serialize.SerializationError as exc:
+                    # A mangled frame is a transport fault, same class as
+                    # a mangled envelope: retryable, not bisectable.
+                    raise CorruptEnvelope(
+                        f"corrupt frame from worker {addr[0]}:{addr[1]}: {exc}",
+                        offset=exc.offset,
+                    ) from exc
+                if frame is None:
+                    self.registry.mark_dead(addr)
+                    self.breakages += 1
+                    raise WorkerCrash(
+                        f"worker {addr[0]}:{addr[1]} hung up without a result"
+                    )
+                kind, payload = frame
+                if kind == RESULTS:
+                    self.registry.mark_alive(addr)
+                    return payload
+                if kind == ERROR:
+                    err_kind, message, job_id = serialize.remote_error_from_bytes(
+                        payload
+                    )
+                    # The worker is alive and talking — the *chunk* failed.
+                    self.registry.mark_alive(addr)
+                    raise error_from_kind(err_kind, message, job_id=job_id)
+                if kind == KEY_REQUEST:
+                    shape, strategy, backend = serialize.circuit_key_from_bytes(
+                        payload
+                    )
+                    key_blob = b""
+                    if self.key_provider is not None:
+                        try:
+                            key_blob = (
+                                self.key_provider(shape, strategy, backend) or b""
+                            )
+                        except Exception:  # noqa: BLE001 — worker reports the miss
+                            key_blob = b""
+                    send_frame(sock, KEY_PUSH, key_blob)
+                    continue
+                raise serialize.SerializationError(
+                    f"unexpected frame kind {kind} awaiting results"
+                )
+        finally:
+            sock.close()
+
+    # -- executor interface -------------------------------------------------------
+    def start(
+        self,
+        tasks: Sequence[Tuple[ChunkTag, bytes]],
+        timeouts: Optional[Dict[ChunkTag, float]] = None,
+    ):
+        """Dispatch ``(tag, jobs_blob)`` chunks without blocking.
+
+        Unlike the process pool, lease deadlines must be known *here*:
+        they become socket timeouts inside the dispatch threads (a
+        blocking ``recv`` is the only place a remote lease can be
+        enforced).  Returns the ``(tag, future)`` list for
+        :meth:`finish`.
+        """
+        timeouts = timeouts or {}
+        if self._threads is None:
+            self._threads = ThreadPoolExecutor(
+                max_workers=max(4, 2 * self.workers),
+                thread_name_prefix="remote-dispatch",
+            )
+        return [
+            (tag, self._threads.submit(self._dispatch, blob, timeouts.get(tag)))
+            for tag, blob in tasks
+        ]
+
+    def finish(
+        self,
+        tasks: Sequence[Tuple[ChunkTag, bytes]],
+        futures,
+        timeouts: Optional[Dict[ChunkTag, float]] = None,
+    ) -> PoolOutcome:
+        """Collect :meth:`start`'s futures; never raises for a chunk.
+
+        First-dispatch failures feed the shared
+        :func:`~repro.core.pool.resolve_chunk` retry/bisect/quarantine
+        loop, re-dispatching over whatever workers the registry still
+        trusts; whatever cannot be recovered is reported per chunk in
+        ``errors`` — typed, never raised.
+        """
+        timeouts = timeouts or {}
+        outcome = PoolOutcome()
+        by_tag = dict(tasks)
+        for tag, fut in futures:
+            try:
+                outcome.results[tag] = serialize.job_results_from_bytes(
+                    fut.result()
+                )
+                outcome.attempts.setdefault(tag, 1)
+                continue
+            except Exception as exc:  # noqa: BLE001 — classified below
+                err = wrap_error(exc)
+            outcome.retried.append(tag)
+            try:
+                triples, poison, attempts = resolve_chunk(
+                    self._dispatch,
+                    self.retry_policy,
+                    by_tag[tag],
+                    timeouts.get(tag),
+                    err,
+                    attempts=1,
+                    tag=tag,
+                )
+                outcome.results[tag] = triples
+                outcome.attempts[tag] = attempts
+                outcome.quarantined.extend(poison)
+            except Exception as exc:  # noqa: BLE001 — reported per chunk
+                fatal = wrap_error(exc)
+                outcome.errors[tag] = fatal
+                outcome.attempts[tag] = max(1, fatal.attempts)
+        return outcome
+
+    def run(
+        self,
+        tasks: Sequence[Tuple[ChunkTag, bytes]],
+        timeouts: Optional[Dict[ChunkTag, float]] = None,
+    ) -> PoolOutcome:
+        """Dispatch and collect in one blocking call."""
+        if not tasks:
+            return PoolOutcome()
+        return self.finish(tasks, self.start(tasks, timeouts), timeouts)
+
+    def shutdown(self) -> None:
+        """Stop the heartbeat and dispatch threads.  Idempotent.  Does
+        NOT stop the workers — the fleet outlives any one dispatcher; use
+        :meth:`shutdown_workers` to drain owned (loopback) fleets."""
+        self.registry.stop()
+        threads, self._threads = self._threads, None
+        if threads is not None:
+            threads.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown_workers(self) -> None:
+        """Send every registered worker a ``SHUTDOWN`` frame (best
+        effort) — for fleets this process launched and owns."""
+        for w in self.registry.workers():
+            try:
+                with socket.create_connection(
+                    w.addr, timeout=self.connect_timeout
+                ) as s:
+                    send_frame(s, SHUTDOWN)
+            except OSError:
+                pass  # already gone
+
+
+__all__ = [
+    "MAGIC",
+    "MAX_FRAME",
+    "JOBS",
+    "RESULTS",
+    "ERROR",
+    "KEY_REQUEST",
+    "KEY_PUSH",
+    "PING",
+    "PONG",
+    "SHUTDOWN",
+    "FRAME_KINDS",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+    "parse_worker_addr",
+    "WorkerInfo",
+    "WorkerRegistry",
+    "RemoteProvingExecutor",
+]

@@ -1,0 +1,316 @@
+"""Remote proving worker: the server side of :mod:`repro.core.remote`.
+
+Run one per host::
+
+    PYTHONPATH=src python -m repro.core.remote_worker \\
+        --host 0.0.0.0 --port 7841 --keystore /shared/keys
+
+The worker accepts TCP connections and serves the frame protocol
+(thread-per-connection — proving is CPU-bound, so concurrency across
+connections mainly overlaps the sockets, exactly like the service's
+thread tier):
+
+* ``JOBS``   — decode the prove-jobs envelope, rehydrate the keypair,
+  prove every job, reply ``RESULTS`` (or a typed ``ERROR``).
+* ``PING``   — reply ``PONG`` with a JSON stats payload (pid, chunks and
+  jobs served, keys adopted over the wire) for the dispatcher's registry.
+* ``SHUTDOWN`` — stop accepting and exit once in-flight handlers drain.
+
+Key discipline mirrors the process pool's: the worker opens its KeyStore
+**read-only** — it must adopt the dispatcher's keypair or fail, never
+mint its own (a self-minted keypair would produce proofs nobody can
+verify).  New here is the *on-demand distribution* path: a keystore miss
+sends ``KEY_REQUEST`` back up the dispatching connection and adopts the
+``KEY_PUSH``ed keypair bytes (the existing
+:func:`repro.serialize.groth16_keypair_to_bytes` wire format) into
+memory, so a diskless worker can still join a Groth16 fleet.
+
+Fault injection: the entry/exit hooks of :mod:`repro.core.faultinject`
+are honoured with ``tier="remote"``, and worker launch environments are
+built via :func:`repro.core.faultinject.scoped_env` — an ambient fault
+plan on the dispatcher never leaks in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from .. import serialize
+from . import faultinject
+from .artifacts import CircuitRegistry, KeyStore
+from .backends import get_backend, prove_jobs_to_wire
+from .errors import MissingKey, wrap_error
+from .remote import (
+    ERROR,
+    JOBS,
+    KEY_PUSH,
+    KEY_REQUEST,
+    PING,
+    PONG,
+    RESULTS,
+    SHUTDOWN,
+    recv_frame,
+    send_frame,
+)
+
+_CRASH_ENV = "REPRO_POOL_TEST_CRASH"  # legacy whole-strategy crash hook
+
+
+class WorkerState:
+    """Per-process caches and counters shared by connection handlers."""
+
+    def __init__(self, keystore_root: Optional[str] = None):
+        self.registry = CircuitRegistry()
+        self.keystore = KeyStore(
+            root=keystore_root, registry=self.registry, readonly=True
+        )
+        self.stop = threading.Event()
+        self._guard = threading.Lock()
+        self.chunks_served = 0
+        self.jobs_served = 0
+        self.keys_adopted = 0
+
+    def stats(self) -> dict:
+        with self._guard:
+            return {
+                "pid": os.getpid(),
+                "chunks_served": self.chunks_served,
+                "jobs_served": self.jobs_served,
+                "keys_adopted": self.keys_adopted,
+            }
+
+    def count(self, chunks: int = 0, jobs: int = 0, keys: int = 0) -> None:
+        with self._guard:
+            self.chunks_served += chunks
+            self.jobs_served += jobs
+            self.keys_adopted += keys
+
+
+def _handle_jobs(conn: socket.socket, state: WorkerState, payload: bytes) -> None:
+    """One chunk: decode, (maybe) fetch keys, prove, reply RESULTS.
+
+    Raises on failure; the connection loop converts the exception into a
+    typed ERROR frame.  Mirrors ``pool._prove_group_worker`` except that
+    a keystore miss becomes a KEY_REQUEST round trip before giving up.
+    """
+    jobs = serialize.prove_jobs_from_bytes(payload)  # raises CorruptEnvelope
+    if not jobs:
+        send_frame(conn, RESULTS, serialize.job_results_to_bytes([]))
+        return
+    plan = faultinject.active_plan()
+    if plan is not None:
+        plan.fire_worker(jobs, tier="remote")
+    _, x0, w0, strategy, backend_name = jobs[0]
+    if os.environ.get(_CRASH_ENV) == strategy:
+        os._exit(13)  # simulated segfault (legacy test hook)
+    a, n, b = len(x0), len(x0[0]), len(w0[0])
+    circuit = state.registry.get(a, n, b, strategy)
+    backend = get_backend(backend_name)
+    artifacts = None
+    if backend.requires_setup:
+        try:
+            artifacts = state.keystore.artifacts(a, n, b, strategy, backend_name)
+        except KeyError:
+            # On-demand key distribution: ask the dispatcher, who holds
+            # the keypair it expects this chunk to be proven under.
+            send_frame(
+                conn,
+                KEY_REQUEST,
+                serialize.circuit_key_to_bytes((a, n, b), strategy, backend_name),
+            )
+            frame = recv_frame(conn)
+            if frame is None or frame[0] != KEY_PUSH or not frame[1]:
+                raise MissingKey(
+                    f"no setup artifacts for ({a},{n},{b},{strategy},"
+                    f"{backend_name}) locally or from the dispatcher"
+                ) from None
+            state.keystore.adopt(a, n, b, strategy, backend_name, frame[1])
+            state.count(keys=1)
+            artifacts = state.keystore.artifacts(a, n, b, strategy, backend_name)
+    if len(jobs) >= 2:
+        backend.warm(artifacts)
+    results = prove_jobs_to_wire(
+        backend_name,
+        circuit,
+        artifacts,
+        [(job_id, x, w) for job_id, x, w, _, _ in jobs],
+    )
+    blob = serialize.job_results_to_bytes(results)
+    if plan is not None:
+        blob = plan.mangle_results(blob, jobs, tier="remote")
+    state.count(chunks=1, jobs=len(results))
+    send_frame(conn, RESULTS, blob)
+
+
+def _serve_connection(conn: socket.socket, state: WorkerState) -> None:
+    try:
+        with conn:
+            while not state.stop.is_set():
+                frame = recv_frame(conn)
+                if frame is None:
+                    return  # clean hang-up between frames
+                kind, payload = frame
+                if kind == PING:
+                    send_frame(
+                        conn, PONG, json.dumps(state.stats()).encode("utf-8")
+                    )
+                elif kind == JOBS:
+                    try:
+                        _handle_jobs(conn, state, payload)
+                    except Exception as exc:  # noqa: BLE001 — typed reply
+                        err = wrap_error(exc)
+                        send_frame(
+                            conn,
+                            ERROR,
+                            serialize.remote_error_to_bytes(
+                                err.kind, str(exc) or err.kind, err.job_id
+                            ),
+                        )
+                elif kind == SHUTDOWN:
+                    state.stop.set()
+                    return
+                # Anything else (RESULTS/ERROR/KEY frames out of context)
+                # is a confused peer: drop the connection.
+                elif kind not in (PING, JOBS, SHUTDOWN):
+                    return
+    except (ConnectionError, OSError, ValueError):
+        return  # peer vanished or spoke garbage; this connection is done
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    keystore_root: Optional[str] = None,
+) -> None:
+    """Bind, announce, and serve until a ``SHUTDOWN`` frame arrives.
+
+    Prints ``listening on <host>:<port>`` (flushed) once ready — with
+    ``port=0`` the kernel assigns one, and launchers parse this line to
+    learn it.
+    """
+    state = WorkerState(keystore_root)
+    listener = socket.create_server((host, port))
+    actual_port = listener.getsockname()[1]
+    print(f"listening on {host}:{actual_port}", flush=True)
+    # Short accept timeout so the SHUTDOWN flag is noticed promptly.
+    listener.settimeout(0.25)
+    with listener:
+        while not state.stop.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=_serve_connection,
+                args=(conn, state),
+                daemon=True,
+            ).start()
+
+
+# -- loopback fleet launcher ------------------------------------------------------
+
+def launch_loopback_workers(
+    n: int,
+    keystore_root: Optional[str] = None,
+    env: Optional[dict] = None,
+    startup_timeout: float = 30.0,
+) -> Tuple[List[str], List[subprocess.Popen]]:
+    """Spawn ``n`` worker subprocesses on ``127.0.0.1`` ephemeral ports.
+
+    Returns ``(["127.0.0.1:<port>", ...], [Popen, ...])`` once every
+    worker has announced its port.  The launch environment is built with
+    :func:`repro.core.faultinject.scoped_env` — only fault specs
+    explicitly addressed to ``tier="remote"`` cross this boundary.  Pair
+    with :func:`stop_workers` in a ``finally``.
+    """
+    base_env = faultinject.scoped_env("remote", env if env is not None else os.environ)
+    # The worker must import ``repro`` exactly as this process does.
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    existing = base_env.get("PYTHONPATH")
+    base_env["PYTHONPATH"] = (
+        src_root if not existing else os.pathsep.join([src_root, existing])
+    )
+    cmd = [sys.executable, "-m", "repro.core.remote_worker", "--host", "127.0.0.1", "--port", "0"]
+    if keystore_root is not None:
+        cmd += ["--keystore", keystore_root]
+    addrs: List[str] = []
+    procs: List[subprocess.Popen] = []
+    try:
+        for _ in range(n):
+            proc = subprocess.Popen(
+                cmd,
+                env=base_env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+            )
+            procs.append(proc)
+        for proc in procs:
+            line = _read_announcement(proc, startup_timeout)
+            addrs.append(line.rsplit(" ", 1)[-1])
+    except Exception:
+        stop_workers(procs)
+        raise
+    return addrs, procs
+
+
+def _read_announcement(proc: subprocess.Popen, timeout: float) -> str:
+    """The worker's ``listening on ...`` line, bounded by ``timeout``."""
+    result: List[str] = []
+
+    def reader():
+        result.append(proc.stdout.readline())
+
+    t = threading.Thread(target=reader, daemon=True)
+    t.start()
+    t.join(timeout)
+    if not result or "listening on" not in result[0]:
+        raise RuntimeError(
+            f"worker pid {proc.pid} failed to start "
+            f"(announced: {result[0]!r})" if result else
+            f"worker pid {proc.pid} failed to announce within {timeout}s"
+        )
+    return result[0].strip()
+
+
+def stop_workers(procs: Sequence[subprocess.Popen]) -> None:
+    """Terminate and reap a loopback fleet (idempotent, best effort)."""
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+        if proc.stdout is not None:
+            proc.stdout.close()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=0, help="0 = kernel-assigned")
+    ap.add_argument(
+        "--keystore",
+        default=None,
+        help="read-only KeyStore root; omit for a diskless worker that "
+        "adopts keys over the wire",
+    )
+    args = ap.parse_args(argv)
+    serve(args.host, args.port, args.keystore)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,7 @@ bundles plus throughput statistics.  Verification of a served batch goes
 through the detached :class:`~repro.core.api.MatmulVerifier`; same-key
 Groth16 bundles use the small-exponent batch check.
 
-Three executor strategies are available (``executor=``):
+Four executor strategies are available (``executor=``):
 
 * ``"serial"`` — every group in the calling thread, in order;
 * ``"thread"`` — groups overlap on a thread pool (GIL-bound: mainly
@@ -18,17 +18,25 @@ Three executor strategies are available (``executor=``):
   the KeyStore's disk root and return wire-format bundles — the
   multi-core path.  Groups too small to amortise the process hop, and
   Groth16 groups when the keystore has no disk root to rehydrate from,
-  stay in-process (``ServiceReport.placements`` records the decision).
+  stay in-process (``ServiceReport.placements`` records the decision);
+* ``"remote"`` — the same chunks dispatched over TCP to a fleet of
+  worker *hosts* (:class:`~repro.core.remote.RemoteProvingExecutor`),
+  addressed via ``remote_workers=`` or the ``REPRO_REMOTE_WORKERS``
+  environment variable (``host:port,host:port``).  Workers rehydrate
+  keys from their own KeyStore or request them over the wire, and the
+  chunk policy's placement decisions follow the registry's live worker
+  count — the multi-box path.
 
 Failure semantics (details in DESIGN.md "Failure semantics"): every
 failure is classified into the typed taxonomy of
 :mod:`repro.core.errors`; transient failures are retried under the
 service's :class:`~repro.core.resilience.RetryPolicy` (deterministic
-backoff, per-chunk lease deadlines on the process tier); jobs that fail
-persistently are bisected down and *quarantined* so the rest of their
-batch still proves; chunk-fatal process failures fall back to inline
-serving of only the missing jobs; and a service whose process pool keeps
-breaking degrades down the executor ladder (process → thread → serial).
+backoff, per-chunk lease deadlines on the process and remote tiers);
+jobs that fail persistently are bisected down and *quarantined* so the
+rest of their batch still proves; chunk-fatal pool failures fall back to
+inline serving of only the missing jobs; and a service whose pool keeps
+breaking degrades down the executor ladder
+(remote → process → thread → serial).
 Per-job outcomes — status, attempts, error — are reported in
 ``ServiceReport.job_outcomes``; ladder and fallback events in
 ``ServiceReport.fallbacks``.
@@ -39,6 +47,7 @@ workers) build on: jobs are already data, results are already bytes.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -53,11 +62,16 @@ from .backends import get_backend
 from .bundle import MatmulProofBundle
 from .errors import ProvingError, wrap_error
 from .pool import GroupChunkPolicy, ProcessProvingExecutor
+from .remote import RemoteProvingExecutor
 from .resilience import RetryPolicy
 
 CircuitKeyT = Tuple[int, int, int, str, str]  # (a, n, b, strategy, backend)
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "remote")
+
+#: comma-separated ``host:port`` fleet for ``executor="remote"`` when no
+#: explicit ``remote_workers`` is passed
+REMOTE_WORKERS_ENV = "REPRO_REMOTE_WORKERS"
 
 
 @dataclass
@@ -192,6 +206,8 @@ class ProvingService:
         chunk_policy: Optional[GroupChunkPolicy] = None,
         retry_policy: Optional[RetryPolicy] = None,
         fallback: bool = True,
+        remote_workers: Optional[Sequence] = None,
+        heartbeat_seconds: float = 0.0,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -206,6 +222,7 @@ class ProvingService:
         )
         self.fallback = fallback
         self._rng = rng
+        self._start_method = start_method
         self._queue: List[ProveJob] = []
         self._next_id = 0
         self._provers: Dict[CircuitKeyT, MatmulProver] = {}
@@ -215,13 +232,54 @@ class ProvingService:
             else GroupChunkPolicy(workers=self.workers)
         )
         self._pool: Optional[ProcessProvingExecutor] = None
+        self._remote: Optional[RemoteProvingExecutor] = None
         if executor == "process":
-            self._pool = ProcessProvingExecutor(
-                workers=self.workers,
-                keystore_root=self.keystore.root,
-                start_method=start_method,
+            self._pool = self._build_process_pool()
+        elif executor == "remote":
+            if remote_workers is None:
+                env_fleet = os.environ.get(REMOTE_WORKERS_ENV, "")
+                remote_workers = [a for a in env_fleet.split(",") if a.strip()]
+            if not remote_workers:
+                raise ValueError(
+                    "executor='remote' needs remote_workers= "
+                    f"(or {REMOTE_WORKERS_ENV}=host:port,...)"
+                )
+            self._remote = RemoteProvingExecutor(
+                remote_workers,
                 retry_policy=self.retry_policy,
+                key_provider=self._key_bytes_for,
+                heartbeat_seconds=heartbeat_seconds,
             )
+
+    def _build_process_pool(self) -> ProcessProvingExecutor:
+        return ProcessProvingExecutor(
+            workers=self.workers,
+            keystore_root=self.keystore.root,
+            start_method=self._start_method,
+            retry_policy=self.retry_policy,
+        )
+
+    def _key_bytes_for(
+        self, shape: Tuple[int, int, int], strategy: str, backend_name: str
+    ) -> bytes:
+        """Serialized setup artifacts for a remote worker's KEY_REQUEST.
+
+        ``create=False``: the dispatch path materialises artifacts before
+        submitting chunks, so a request for a key this service never set
+        up is answered empty (the worker then fails with MissingKey)
+        instead of minting a fresh — unverifiable — keypair mid-batch.
+        """
+        backend = get_backend(backend_name)
+        if not backend.requires_setup:
+            return b""
+        a, n, b = shape
+        try:
+            artifacts = self.keystore.artifacts(
+                a, n, b, strategy, backend_name, create=False
+            )
+        except KeyError:
+            return b""
+        return backend.artifacts_to_bytes(artifacts)
 
     # -- job intake --------------------------------------------------------------
     def submit(
@@ -302,7 +360,7 @@ class ProvingService:
                 t0 = time.perf_counter()
                 try:
                     if plan is not None:
-                        plan.fire_inline(job.job_id, job.strategy)
+                        plan.fire_inline(job.job_id, job.strategy, tier="inline")
                     bundle = prover.prove(job.x, job.w)
                 except Exception as exc:  # noqa: BLE001 — classified below
                     err = (
@@ -342,17 +400,28 @@ class ProvingService:
                 break
         return results, records
 
-    def _serve_groups_process(
-        self, groups: Dict[CircuitKeyT, List[ProveJob]], report: ServiceReport
+    def _serve_groups_pool(
+        self,
+        groups: Dict[CircuitKeyT, List[ProveJob]],
+        report: ServiceReport,
+        pool,
+        tier: str,
     ):
-        """Dispatch groups to the process pool, sharding large ones.
+        """Dispatch groups to a chunk executor pool, sharding large ones.
+
+        ``pool`` is either the process executor or the remote executor —
+        both speak ``start``/``finish`` over ``(tag, jobs_blob)`` chunks
+        and count ``breakages`` — and ``tier`` names the rung
+        (``"process"``/``"remote"``) for placements and fallback records.
 
         Returns the same ``(key, results, records, error)`` outcome tuples
         the in-process paths produce.  Groups the chunk policy deems too
-        small for a process hop — and Groth16 groups with no disk root
-        for workers to rehydrate keys from — are served inline.  Each
+        small for a dispatch hop stay inline; so do Groth16 groups the
+        process tier cannot key (no disk root) — the remote tier instead
+        pushes keys over the wire, so it dispatches regardless, but only
+        across the workers its registry currently believes live.  Each
         dispatched chunk carries a lease deadline derived from its
-        predicted proving time; the pool executor retries, bisects, and
+        predicted proving time; the executor retries, bisects, and
         quarantines per the retry policy, and whatever still fails as a
         chunk is re-served inline here (``fallback=True``).
         """
@@ -361,19 +430,30 @@ class ProvingService:
         outcomes = []
         inline: List[Tuple[CircuitKeyT, List[ProveJob]]] = []
         dispatched: List[CircuitKeyT] = []
+        live_workers = None
+        if tier == "remote":
+            live_workers = pool.registry.live_count()
         for key, jobs in groups.items():
             backend = get_backend(key[4])
-            can_dispatch = self.keystore.root is not None or not backend.requires_setup
+            can_dispatch = (
+                tier == "remote"
+                or self.keystore.root is not None
+                or not backend.requires_setup
+            )
             n_chunks = (
-                self._chunk_policy.plan(key, len(jobs)) if can_dispatch else 0
+                self._chunk_policy.plan(key, len(jobs), workers=live_workers)
+                if can_dispatch
+                else 0
             )
             if n_chunks <= 0:
                 report.placements[key] = "inline"
                 inline.append((key, jobs))
                 continue
             try:
-                # Workers open the keystore read-only: the parent must
-                # publish setup artifacts to disk before dispatching.
+                # Workers never mint keys: the parent materialises setup
+                # artifacts first — published to the disk root for process
+                # workers to rehydrate, held in memory to answer remote
+                # workers' KEY_REQUESTs.
                 if backend.requires_setup:
                     self._prover_for(key)._artifacts()
                 blobs = [
@@ -385,7 +465,7 @@ class ProvingService:
             except Exception as exc:  # noqa: BLE001 — poisoned group, isolated
                 outcomes.append((key, [], {}, f"{type(exc).__name__}: {exc}"))
                 continue
-            report.placements[key] = "process"
+            report.placements[key] = tier
             dispatched.append(key)
             job_seconds = self._chunk_policy.job_seconds(key)
             per_chunk = max(1, -(-len(jobs) // len(blobs)))
@@ -399,12 +479,12 @@ class ProvingService:
         # concurrently while the parent handles the inline tail, instead
         # of the inline groups being dead serial time before the pool
         # even starts.
-        futures = self._pool.start(tasks) if tasks else None
+        futures = pool.start(tasks, timeouts) if tasks else None
         outcomes.extend(
             self._serve_group_safe(key, jobs) for key, jobs in inline
         )
         if futures is not None:
-            pool_outcome = self._pool.finish(tasks, futures, timeouts)
+            pool_outcome = pool.finish(tasks, futures, timeouts)
             job_key = {
                 j.job_id: key for key in dispatched for j in groups[key]
             }
@@ -460,9 +540,9 @@ class ProvingService:
                         sorted({e.kind for e in chunk_fatal[key]})
                     )
                     report.fallbacks.append(
-                        f"group {key}: process->inline after {kinds}"
+                        f"group {key}: {tier}->inline after {kinds}"
                     )
-                    report.placements[key] = "process+inline"
+                    report.placements[key] = f"{tier}+inline"
                     _, res, recs, err2 = self._serve_group_safe(key, missing)
                     merged[key].extend(res)
                     group_records.update(recs)
@@ -477,17 +557,29 @@ class ProvingService:
                 )
             if (
                 self.fallback
-                and self._pool.breakages >= self.retry_policy.max_pool_breakages
+                and pool.breakages >= self.retry_policy.max_pool_breakages
             ):
-                # The process tier keeps losing pools (crashes/hangs):
-                # stop feeding it.  Future batches run on the thread tier.
-                report.fallbacks.append(
-                    f"executor process->thread after "
-                    f"{self._pool.breakages} pool breakage(s)"
-                )
-                self._pool.shutdown()
-                self._pool = None
-                self.executor = "thread"
+                # This tier keeps losing workers (crashes/hangs/dead
+                # hosts): stop feeding it.  Future batches run one rung
+                # down the ladder — remote → process → thread → serial.
+                if tier == "remote":
+                    report.fallbacks.append(
+                        f"executor remote->process after "
+                        f"{pool.breakages} fleet breakage(s)"
+                    )
+                    pool.shutdown()
+                    self._remote = None
+                    self.executor = "process"
+                    if self._pool is None:
+                        self._pool = self._build_process_pool()
+                else:
+                    report.fallbacks.append(
+                        f"executor process->thread after "
+                        f"{pool.breakages} pool breakage(s)"
+                    )
+                    pool.shutdown()
+                    self._pool = None
+                    self.executor = "thread"
         return outcomes
 
     def run(self, verify: bool = False) -> ServiceReport:
@@ -531,8 +623,14 @@ class ProvingService:
                 error=msg,
             )
         if groups:
-            if self.executor == "process" and self._pool is not None:
-                outcomes = self._serve_groups_process(groups, report)
+            if self.executor == "remote" and self._remote is not None:
+                outcomes = self._serve_groups_pool(
+                    groups, report, self._remote, "remote"
+                )
+            elif self.executor == "process" and self._pool is not None:
+                outcomes = self._serve_groups_pool(
+                    groups, report, self._pool, "process"
+                )
             elif (
                 self.executor == "serial"
                 or self.workers == 1
@@ -612,9 +710,13 @@ class ProvingService:
         circuit/keypair/table caches; long-lived services that are done
         proving call this to reap the worker processes (interpreter exit
         reaps them regardless; a batch served after close() lazily builds
-        a fresh pool)."""
+        a fresh pool).  For the remote executor this stops the heartbeat
+        and dispatch threads but leaves the worker fleet running — the
+        fleet outlives any one dispatcher."""
         if self._pool is not None:
             self._pool.shutdown()
+        if self._remote is not None:
+            self._remote.shutdown()
 
     # -- verification -------------------------------------------------------------
     def verify_report(self, report: ServiceReport) -> bool:

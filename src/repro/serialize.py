@@ -25,7 +25,18 @@ R = BN254_FR_MODULUS
 
 
 class SerializationError(ValueError):
-    """Malformed or out-of-group wire data."""
+    """Malformed or out-of-group wire data.
+
+    ``offset`` (when known) is the reader position at which the data
+    stopped making sense — primarily the point where a declared length
+    prefix exceeded the bytes actually present.
+    """
+
+    def __init__(self, message: str, offset: Optional[int] = None):
+        if offset is not None:
+            message = f"{message} (at byte {offset})"
+        super().__init__(message)
+        self.offset = offset
 
 
 # -- primitives ---------------------------------------------------------------
@@ -124,13 +135,28 @@ def _pack_g2s(points) -> bytes:
 
 
 class _Reader:
+    """Bounded cursor over untrusted bytes.
+
+    Every declared ``u32`` length prefix is capped by the bytes actually
+    remaining *before* any element is decoded or any list built, so a
+    corrupt or adversarial prefix (e.g. ``0xFFFFFFFF``) fails immediately
+    with a typed, offset-carrying :class:`SerializationError` — never an
+    allocation or decode loop proportional to the declared length.  This
+    mattered little while envelopes came from a trusted subprocess; it is
+    load-bearing now that frames come off sockets (``repro.core.remote``).
+    """
+
     def __init__(self, data: bytes):
         self.data = data
         self.pos = 0
 
     def take(self, n: int) -> bytes:
-        if self.pos + n > len(self.data):
-            raise SerializationError("truncated input")
+        if n < 0 or self.pos + n > len(self.data):
+            raise SerializationError(
+                f"truncated input: need {n} bytes, "
+                f"{len(self.data) - self.pos} remain",
+                offset=self.pos,
+            )
         out = self.data[self.pos:self.pos + n]
         self.pos += n
         return out
@@ -138,21 +164,34 @@ class _Reader:
     def u32(self) -> int:
         return struct.unpack(">I", self.take(4))[0]
 
+    def count(self, item_size: int) -> int:
+        """A ``u32`` element count, validated against the remaining
+        buffer: ``count * item_size`` bytes must actually be present."""
+        at = self.pos
+        n = self.u32()
+        if n * item_size > len(self.data) - self.pos:
+            raise SerializationError(
+                f"declared length {n} (x{item_size} bytes) exceeds the "
+                f"{len(self.data) - self.pos} bytes remaining",
+                offset=at,
+            )
+        return n
+
     def scalars(self) -> List[int]:
-        return [scalar_from_bytes(self.take(32)) for _ in range(self.u32())]
+        return [scalar_from_bytes(self.take(32)) for _ in range(self.count(32))]
 
     def blob(self) -> bytes:
-        return self.take(self.u32())
+        return self.take(self.count(1))
 
     def g1s(self) -> List[AffinePoint]:
-        return [g1_from_bytes(self.take(64)) for _ in range(self.u32())]
+        return [g1_from_bytes(self.take(64)) for _ in range(self.count(64))]
 
     def g2s(self) -> list:
-        return [g2_from_bytes(self.take(128)) for _ in range(self.u32())]
+        return [g2_from_bytes(self.take(128)) for _ in range(self.count(128))]
 
     def done(self) -> None:
         if self.pos != len(self.data):
-            raise SerializationError("trailing bytes")
+            raise SerializationError("trailing bytes", offset=self.pos)
 
 
 # -- Groth16 proof -------------------------------------------------------------
@@ -181,7 +220,7 @@ def _sumcheck_to_bytes(sc: SumcheckProof) -> bytes:
 
 
 def _sumcheck_from_reader(r: _Reader) -> SumcheckProof:
-    rounds = r.u32()
+    rounds = r.count(4)  # each round carries at least its own length prefix
     return SumcheckProof(round_polys=[r.scalars() for _ in range(rounds)])
 
 
@@ -217,6 +256,10 @@ def spartan_proof_from_bytes(data: bytes) -> SpartanProof:
         # hyrax_verify MSMs row_commits against a 2^row_vars eq-table; a
         # mismatched count must be rejected here, not crash the verifier.
         raise SerializationError("row commitment count mismatch")
+    if n_rows * 64 > len(r.data) - r.pos:
+        raise SerializationError(
+            "row commitment count exceeds payload", offset=r.pos
+        )
     commits = [g1_from_bytes(r.take(64)) for _ in range(n_rows)]
     commitment = HyraxCommitment(
         row_commits=commits,
@@ -499,7 +542,7 @@ def prove_jobs_to_bytes(jobs) -> bytes:
 def prove_jobs_from_bytes(data: bytes):
     r = _Reader(data)
     try:
-        jobs = [prove_job_from_bytes(r.blob()) for _ in range(r.u32())]
+        jobs = [prove_job_from_bytes(r.blob()) for _ in range(r.count(4))]
         r.done()
     except CorruptEnvelope:
         raise
@@ -540,7 +583,7 @@ def job_results_to_bytes(results) -> bytes:
 def job_results_from_bytes(data: bytes):
     r = _Reader(data)
     try:
-        results = [job_result_from_bytes(r.blob()) for _ in range(r.u32())]
+        results = [job_result_from_bytes(r.blob()) for _ in range(r.count(4))]
         r.done()
     except CorruptEnvelope:
         raise
@@ -575,3 +618,58 @@ def verifier_artifact_from_bytes(
     vk_bytes = r.blob()
     r.done()
     return backend, strategy, (a, n, b), vk_bytes
+
+
+# -- remote-fleet payloads -------------------------------------------------------
+
+def circuit_key_to_bytes(shape: Tuple[int, int, int], strategy: str, backend: str) -> bytes:
+    """Identity of a keypair in the KeyStore — the payload of a remote
+    worker's KEY_REQUEST frame."""
+    a, n, b = shape
+    return (
+        struct.pack(">III", a, n, b)
+        + _pack_bytes(strategy.encode())
+        + _pack_bytes(backend.encode())
+    )
+
+
+def circuit_key_from_bytes(data: bytes) -> Tuple[Tuple[int, int, int], str, str]:
+    r = _Reader(data)
+    try:
+        a, n, b = struct.unpack(">III", r.take(12))
+        strategy = _utf8(r.blob())
+        backend = _utf8(r.blob())
+        r.done()
+    except CorruptEnvelope:
+        raise
+    except (ValueError, struct.error) as exc:
+        raise _corrupt("circuit-key", r, exc) from exc
+    return (a, n, b), strategy, backend
+
+
+_NO_JOB = 0xFFFFFFFF
+
+
+def remote_error_to_bytes(kind: str, message: str, job_id: Optional[int] = None) -> bytes:
+    """A typed failure travelling back over the wire (ERROR frame payload):
+    the error taxonomy ``kind`` tag, a human message, and the offending
+    job id when the worker could pin one down."""
+    return (
+        _pack_bytes(kind.encode())
+        + _pack_bytes(message.encode())
+        + struct.pack(">I", _NO_JOB if job_id is None else job_id)
+    )
+
+
+def remote_error_from_bytes(data: bytes) -> Tuple[str, str, Optional[int]]:
+    r = _Reader(data)
+    try:
+        kind = _utf8(r.blob())
+        message = _utf8(r.blob())
+        job_id = r.u32()
+        r.done()
+    except CorruptEnvelope:
+        raise
+    except (ValueError, struct.error) as exc:
+        raise _corrupt("remote-error", r, exc) from exc
+    return kind, message, None if job_id == _NO_JOB else job_id

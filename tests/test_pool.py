@@ -244,7 +244,7 @@ class TestFailureIsolation:
         class HalfBrokenPool:
             breakages = 0
 
-            def start(self, tasks):
+            def start(self, tasks, timeouts=None):
                 return list(tasks)
 
             def finish(self, tasks, futures, timeouts=None):

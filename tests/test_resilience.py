@@ -1,8 +1,8 @@
 """Fault-tolerant proving pipeline.
 
 The fault matrix {crash, hang, corrupt envelope, missing key, poison job}
-x {serial, thread, process} drives every injected failure through the
-full service stack and asserts the structured outcome: retryable faults
+x {serial, thread, process, remote} drives every injected failure through
+the full service stack and asserts the structured outcome: retryable faults
 *recover* (every job proves and verifies), non-retryable faults degrade
 to a quarantine record or an inline fallback — never a hang, never a raw
 untyped exception, and never collateral damage to the other jobs in the
@@ -39,8 +39,12 @@ from repro.core import (
     wrap_error,
 )
 from repro.core.faultinject import ENV_VAR
+from repro.core.remote_worker import launch_loopback_workers, stop_workers
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "remote")
+#: the dispatch tiers whose chunk-fatal errors fall back inline (vs the
+#: inline tiers, where a non-retryable fault fails just the hit job)
+DISPATCH_TIERS = ("process", "remote")
 FAULTS = ("crash", "hang", "corrupt", "missing_key", "poison")
 
 #: test-speed policy: quick backoff, a lease short enough that a hung
@@ -51,6 +55,17 @@ FAST = RetryPolicy(
     backoff_base_seconds=0.001,
     lease_floor_seconds=1.0,
     lease_multiplier=40.0,
+)
+
+#: remote-tier variant: the lease is enforced as a *socket deadline* on
+#: the dispatcher, so for the hang cell to actually expire it the lease
+#: must sit below the injected 15s sleep — pin it to the 1s floor (honest
+#: loopback chunks of tiny spartan proofs finish in milliseconds)
+REMOTE_FAST = RetryPolicy(
+    max_attempts=3,
+    backoff_base_seconds=0.001,
+    lease_floor_seconds=1.0,
+    lease_multiplier=0.001,
 )
 
 
@@ -93,34 +108,48 @@ class TestFaultMatrix:
     @pytest.mark.parametrize("kind", FAULTS)
     def test_cell(self, tmp_path, monkeypatch, executor, kind):
         target = 2  # job id the targeted faults single out
+        # Remote workers only receive specs explicitly addressed to their
+        # tier (scoped_env strips everything else from the launch env).
+        tier = "remote" if executor == "remote" else None
         if kind == "poison":
             # fires on *every* attempt: must end in quarantine, with the
             # other five jobs still proving and verifying
             install(
                 monkeypatch, tmp_path,
-                FaultSpec(kind="poison", job_id=target, times=None),
+                FaultSpec(kind="poison", job_id=target, times=None, tier=tier),
             )
         elif kind == "missing_key":
-            # not retryable: the process tier goes chunk-fatal and falls
+            # not retryable: the dispatch tiers go chunk-fatal and fall
             # back inline (budget: one firing per dispatched chunk); the
             # inline tiers fail exactly one job, keeping the rest
-            times = 2 if executor == "process" else 1
+            times = 2 if executor in DISPATCH_TIERS else 1
             install(
                 monkeypatch, tmp_path,
-                FaultSpec(kind="missing_key", times=times),
+                FaultSpec(kind="missing_key", times=times, tier=tier),
             )
         else:
             # transient (fires once): retries/leases must fully recover
             install(
                 monkeypatch, tmp_path,
-                FaultSpec(kind=kind, times=1, seconds=15.0),
+                FaultSpec(kind=kind, times=1, seconds=15.0, tier=tier),
             )
-        svc = make_service(tmp_path, executor)
+        kwargs = {}
+        procs = []
+        if executor == "remote":
+            # Launched *after* install(): the plan must be in the env the
+            # loopback workers inherit (remote-tier specs only).
+            from repro.core.remote_worker import launch_loopback_workers
+
+            addrs, procs = launch_loopback_workers(2)
+            kwargs["remote_workers"] = addrs
+            kwargs["retry_policy"] = REMOTE_FAST
+        svc = make_service(tmp_path, executor, **kwargs)
         ids = submit_batch(svc)
         try:
             report = svc.run(verify=True)
         finally:
             svc.close()
+            stop_workers(procs)
 
         statuses = {j: o.status for j, o in report.job_outcomes.items()}
         assert set(statuses) == set(ids)
@@ -133,7 +162,7 @@ class TestFaultMatrix:
             assert set(statuses.values()) == {"ok"}
             assert report.verified is False  # a job is missing a proof...
             assert svc.verify_report(report)  # ...but the others verify
-        elif kind == "missing_key" and executor != "process":
+        elif kind == "missing_key" and executor not in DISPATCH_TIERS:
             # exactly one inline job failed, typed, first-hit job
             failed = [j for j, s in statuses.items() if s == "failed"]
             assert len(failed) == 1
@@ -146,8 +175,10 @@ class TestFaultMatrix:
             assert set(statuses.values()) == {"ok"}
             assert report.verified is True
             assert len(report.results) == len(ids)
-            if kind == "missing_key":  # process tier recovered inline
-                assert any("process->inline" in f for f in report.fallbacks)
+            if kind == "missing_key":  # dispatch tier recovered inline
+                assert any(
+                    f"{executor}->inline" in f for f in report.fallbacks
+                )
             if kind in ("crash", "hang") and executor != "process":
                 # the injected failure burned a visible attempt
                 assert any(

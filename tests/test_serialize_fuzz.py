@@ -11,6 +11,8 @@ the shape-header and Hyrax-header DoS checks in ``repro.serialize``.
 """
 
 import random
+import socket
+import struct
 
 import pytest
 from _matutil import rand_mats
@@ -23,6 +25,7 @@ from repro.core import (
     MatmulProver,
     MatmulVerifier,
 )
+from repro.core import remote
 
 SEED = 0xF022ED
 
@@ -262,3 +265,217 @@ class TestJobEnvelopeFuzz:
             # a prefix that happens to decode (e.g. a shorter count) is
             # fine — the decoders reject trailing bytes, not prefixes
         assert seen_offsets  # the typed path actually fired
+
+
+class TestRemotePayloadFuzz:
+    """The KEY_REQUEST / ERROR frame payloads are peer-supplied bytes and
+    get the same decode discipline as the job envelopes."""
+
+    CODECS = {
+        "circuit_key": (
+            serialize.circuit_key_to_bytes((3, 4, 2), "crpc_psq", "groth16"),
+            serialize.circuit_key_from_bytes,
+        ),
+        "remote_error": (
+            serialize.remote_error_to_bytes(
+                "worker-crash", "injected: boom", 7
+            ),
+            serialize.remote_error_from_bytes,
+        ),
+    }
+
+    def test_roundtrips(self):
+        shape, strategy, backend = serialize.circuit_key_from_bytes(
+            self.CODECS["circuit_key"][0]
+        )
+        assert (shape, strategy, backend) == ((3, 4, 2), "crpc_psq", "groth16")
+        kind, message, job_id = serialize.remote_error_from_bytes(
+            self.CODECS["remote_error"][0]
+        )
+        assert (kind, message, job_id) == ("worker-crash", "injected: boom", 7)
+        # job_id None survives the sentinel encoding
+        blob = serialize.remote_error_to_bytes("missing-key", "gone", None)
+        assert serialize.remote_error_from_bytes(blob)[2] is None
+
+    @pytest.mark.parametrize("which", sorted(CODECS))
+    def test_mutants_parse_cleanly(self, which):
+        blob, parse = self.CODECS[which]
+        rng = random.Random(SEED + len(blob))
+        rejected = 0
+        for mutant in mutants(rng, blob, 200):
+            if mutant == blob:
+                continue
+            if not assert_parse_clean(parse, mutant):
+                rejected += 1
+        assert rejected > 0
+
+    @pytest.mark.parametrize("which", sorted(CODECS))
+    def test_truncations_are_typed_with_offsets(self, which):
+        blob, parse = self.CODECS[which]
+        seen_offsets = set()
+        for cut in range(len(blob)):
+            try:
+                parse(blob[:cut])
+            except ValueError as exc:
+                offset = getattr(exc, "offset", None)
+                assert offset is not None and 0 <= offset <= cut
+                seen_offsets.add(offset)
+        assert seen_offsets
+
+
+class TestFrameFuzz:
+    """The TCP frame layer (``repro.core.remote``): truncations,
+    mutations, and hostile length prefixes coming off a socket must end in
+    ``None`` (clean EOF), ``ConnectionError`` (mid-frame disconnect), or a
+    typed ``SerializationError`` — never a huge allocation, a hang, or an
+    unclassified exception."""
+
+    def feed(self, data: bytes):
+        a, b = socket.socketpair()
+        with a, b:
+            b.settimeout(5.0)
+            a.sendall(data)
+            a.shutdown(socket.SHUT_WR)
+            return remote.recv_frame(b)
+
+    @pytest.fixture(scope="class")
+    def frame(self):
+        x, w = rand_mats(2, 3, 2, seed=14)
+        payload = serialize.prove_jobs_to_bytes(
+            [(0, x, w, "crpc_psq", "spartan")]
+        )
+        return remote.encode_frame(remote.JOBS, payload)
+
+    def test_every_truncation_is_classified(self, frame):
+        assert self.feed(b"") is None  # EOF at the boundary
+        for cut in range(1, len(frame)):
+            with pytest.raises(ConnectionError):
+                self.feed(frame[:cut])  # EOF *inside* a frame
+        kind, payload = self.feed(frame)
+        assert kind == remote.JOBS and len(payload) == len(frame) - 9
+
+    def test_mutation_corpus(self, frame):
+        rng = random.Random(SEED + len(frame))
+        # random mutants mostly land in the payload; the deterministic
+        # header flips guarantee the magic/kind/length checks are hit
+        corpus = list(mutants(rng, frame, 150)) + [
+            frame[:i] + bytes([frame[i] ^ 0xFF]) + frame[i + 1:]
+            for i in range(9)
+        ]
+        outcomes = {"ok": 0, "eof": 0, "conn": 0, "typed": 0}
+        for mutant in corpus:
+            try:
+                got = self.feed(mutant)
+            except ConnectionError:
+                outcomes["conn"] += 1
+            except serialize.SerializationError:
+                outcomes["typed"] += 1
+            else:
+                outcomes["eof" if got is None else "ok"] += 1
+        # the corpus must reach both failure modes and survival
+        assert outcomes["ok"] > 0
+        assert outcomes["conn"] > 0
+        assert outcomes["typed"] > 0
+
+    @pytest.mark.parametrize(
+        "length", [remote.MAX_FRAME + 1, 0x7FFFFFFF, 0xFFFFFFFF]
+    )
+    def test_oversize_length_prefix_never_sizes_a_read(self, length):
+        """Only the 9 header bytes are on the wire: an implementation
+        that believed the prefix would block for the declared payload and
+        trip the socket timeout instead of raising immediately."""
+        header = remote.MAGIC + bytes([remote.JOBS]) + struct.pack(">I", length)
+        with pytest.raises(serialize.SerializationError) as ei:
+            self.feed(header)
+        assert ei.value.offset == 5
+        assert "MAX_FRAME" in str(ei.value)
+
+
+class TestOversizeLengthPrefix:
+    """Every public decoder: a 4-byte window saturated to ``0xFFFFFFFF``
+    anywhere in a valid blob (hitting every length prefix, among other
+    fields) must parse cleanly-or-ValueError without an allocation or
+    decode loop proportional to the declared length — the sweep itself
+    would time out otherwise."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        registry, keystore = fresh_stores()
+        prover = MatmulProver(
+            2, 2, 2, backend="groth16", registry=registry, keystore=keystore
+        )
+        bundle = prover.prove(*rand_mats(2, 2, 2, seed=15))
+        artifacts = prover._artifacts()
+        from repro.core.backends import get_backend
+
+        g16 = get_backend("groth16")
+        sp_prover = MatmulProver(2, 2, 2, backend="spartan", registry=registry)
+        sp_bundle = sp_prover.prove(*rand_mats(2, 2, 2, seed=16))
+        x, w = rand_mats(2, 2, 2, seed=17)
+        return {
+            "vk": (g16.export_vk(artifacts), serialize.groth16_vk_from_bytes),
+            "keypair": (
+                g16.artifacts_to_bytes(artifacts),
+                serialize.groth16_keypair_from_bytes,
+            ),
+            "bundle_groth16": (bundle.to_bytes(), MatmulProofBundle.from_bytes),
+            "bundle_spartan": (
+                sp_bundle.to_bytes(),
+                MatmulProofBundle.from_bytes,
+            ),
+            "verifier_artifact": (
+                prover.export_verifier(),
+                lambda blob: MatmulVerifier.from_bytes(
+                    blob, registry=CircuitRegistry()
+                ),
+            ),
+            "jobs": (
+                serialize.prove_jobs_to_bytes(
+                    [(0, x, w, "crpc_psq", "spartan")]
+                ),
+                serialize.prove_jobs_from_bytes,
+            ),
+            "results": (
+                serialize.job_results_to_bytes([(0, b"bundle-bytes", 0.25)]),
+                serialize.job_results_from_bytes,
+            ),
+            "circuit_key": (
+                serialize.circuit_key_to_bytes((2, 2, 2), "crpc_psq", "spartan"),
+                serialize.circuit_key_from_bytes,
+            ),
+            "remote_error": (
+                serialize.remote_error_to_bytes("poison-job", "bad", 3),
+                serialize.remote_error_from_bytes,
+            ),
+        }
+
+    @pytest.mark.parametrize(
+        "which",
+        [
+            "vk",
+            "keypair",
+            "bundle_groth16",
+            "bundle_spartan",
+            "verifier_artifact",
+            "jobs",
+            "results",
+            "circuit_key",
+            "remote_error",
+        ],
+    )
+    def test_saturated_windows_reject_cleanly(self, corpus, which):
+        blob, parse = corpus[which]
+        # every offset for small blobs; a bounded stride (plus the blob
+        # head, where the length prefixes of every format live) for big
+        # ones — the sweep stays a few hundred parses per format
+        positions = set(range(0, min(len(blob) - 3, 64)))
+        stride = max(1, (len(blob) - 3) // 256)
+        positions.update(range(0, len(blob) - 3, stride))
+        rejected = 0
+        for i in sorted(positions):
+            mutant = blob[:i] + b"\xff\xff\xff\xff" + blob[i + 4:]
+            if mutant == blob:
+                continue
+            if not assert_parse_clean(parse, mutant):
+                rejected += 1
+        assert rejected > 0  # the saturation actually bit somewhere
