@@ -53,6 +53,26 @@ _GATED_METRICS = (
     "vector_matvec_limbs_ops_per_sec",
 )
 
+# Lower-is-better counters (not timings): gated absolutely, with no
+# machine-factor adjustment — a count ratio is hardware-independent.
+# ``remote_connects_per_proof`` is the pooling canary: a slide back to
+# connection-per-dispatch multiplies dials-per-proof several-fold, far
+# past any plausible scheduling noise.
+_GATED_INVERSE = ("remote_connects_per_proof",)
+
+
+def _paired_inverse_metrics(baseline: dict, fresh: dict):
+    base_sec = baseline.get("service", {})
+    for size, fresh_entry in fresh.get("service", {}).items():
+        base_entry = base_sec.get(size, {})
+        for metric in _GATED_INVERSE:
+            if metric not in base_entry or metric not in fresh_entry:
+                continue
+            old = base_entry[metric]
+            if old <= 0:
+                continue
+            yield "service", size, metric, old, fresh_entry[metric]
+
 
 def _paired_metrics(baseline: dict, fresh: dict):
     for section in (
@@ -160,6 +180,18 @@ def main(argv=None) -> int:
         )
     regressions = list(compare(baseline, fresh, args.threshold, factor))
     checked = len(list(_paired_metrics(baseline, fresh)))
+    # Inverse (lower-is-better) counters: regression = the count *grew*
+    # past the threshold.  A small absolute slack forgives one extra dial
+    # on a tiny batch (e.g. a reconnect after a reaped idle socket).
+    inverse_regressions = []
+    for section, size, metric, old, new in _paired_inverse_metrics(
+        baseline, fresh
+    ):
+        checked += 1
+        if new > old * (1.0 + args.threshold) + 0.02:
+            inverse_regressions.append(
+                (section, size, metric, old, new, new / old)
+            )
     # The pool metrics (process workers, loopback remote fleet) scale with
     # core count; comparing a baseline committed on an m-core host against
     # an n-core runner prices the hardware, not the code.  Warn instead of
@@ -176,12 +208,18 @@ def main(argv=None) -> int:
                 f"({ratio:.2f}x) — not gating: baseline host had "
                 f"{base_cpu} cores, this host has {fresh_cpu}"
             )
-    if regressions:
-        print(f"PERF REGRESSION ({len(regressions)} of {checked} metrics):")
+    if regressions or inverse_regressions:
+        total = len(regressions) + len(inverse_regressions)
+        print(f"PERF REGRESSION ({total} of {checked} metrics):")
         for section, size, metric, expected, new, ratio in regressions:
             print(
                 f"  {section}[n={size}].{metric}: expected ~{expected:,.0f}, "
                 f"got {new:,.0f} ops/sec ({ratio:.2f}x)"
+            )
+        for section, size, metric, old, new, ratio in inverse_regressions:
+            print(
+                f"  {section}[n={size}].{metric}: expected <={old:.3f}, "
+                f"got {new:.3f} ({ratio:.2f}x; lower is better)"
             )
         return 1
     print(

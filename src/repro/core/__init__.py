@@ -25,6 +25,7 @@ from .backends import (
 from .errors import (
     ChunkTimeout,
     CorruptEnvelope,
+    FleetAuthError,
     MissingKey,
     PoisonJob,
     ProvingError,
@@ -33,8 +34,14 @@ from .errors import (
     wrap_error,
 )
 from .faultinject import FaultPlan, FaultSpec, scoped_env
-from .remote import RemoteProvingExecutor, WorkerRegistry
-from .resilience import BARE_POLICY, ChunkLease, RetryPolicy
+from .remote import ConnectionPool, RemoteProvingExecutor, WorkerRegistry
+from .resilience import (
+    BARE_POLICY,
+    BreakerConfig,
+    ChunkLease,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from .crpc import (
     ConstraintTheory,
     crpc_identity_holds,
@@ -57,9 +64,13 @@ from .service import (
 __all__ = [
     "BACKENDS",
     "BARE_POLICY",
+    "BreakerConfig",
     "ChunkLease",
     "ChunkTimeout",
+    "CircuitBreaker",
     "CircuitRegistry",
+    "ConnectionPool",
+    "FleetAuthError",
     "ConstraintTheory",
     "CorruptEnvelope",
     "EXECUTORS",

@@ -160,6 +160,19 @@ class PoisonJob(ProvingError):
     isolate = True
 
 
+class FleetAuthError(ProvingError):
+    """The HMAC session handshake failed: missing/wrong fleet token,
+    a malformed handshake frame, or a worker that closed the connection
+    before granting a session.  Not retryable — the same credentials will
+    fail the same way on every dispatch — and never bisected: the jobs
+    were never even decoded.  Exhausts straight to chunk-fatal, so the
+    degradation ladder re-serves the group locally."""
+
+    kind = "auth-failed"
+    retryable = False
+    isolate = False
+
+
 class WorkerUnavailable(ProvingError):
     """No worker could be reached to run the chunk (connection refused,
     empty registry, every host marked dead).  Retryable — a host may come
@@ -183,6 +196,7 @@ ERROR_KINDS = {
         CorruptEnvelope,
         MissingKey,
         PoisonJob,
+        FleetAuthError,
         WorkerUnavailable,
     )
 }

@@ -24,6 +24,13 @@ with the test.  This module provides that harness:
   - ``"poison"``  — raises a deterministic, job-attributed
     :class:`~repro.core.errors.ProvingError` on every attempt, the
     canonical quarantine target.
+  - ``"net_drop"`` — remote tier only: the worker proves the chunk, then
+    the connection "loses" the RESULTS frame (hang-up without a reply) —
+    the dispatcher sees :class:`~repro.core.errors.WorkerCrash` for work
+    that actually completed, the hardest case for exactly-once delivery.
+  - ``"net_stall"`` — remote tier only: the reply stalls ``seconds``
+    (past the chunk lease), so the dispatcher times out and re-dispatches
+    while the original worker is still holding the proven chunk.
 
 * Plans cross the process boundary through the ``REPRO_FAULT_PLAN``
   environment variable (JSON), the only channel that survives ``spawn``.
@@ -50,7 +57,10 @@ from .errors import ChunkTimeout, MissingKey, ProvingError, WorkerCrash
 
 ENV_VAR = "REPRO_FAULT_PLAN"
 
-KINDS = ("crash", "hang", "corrupt", "missing_key", "poison")
+KINDS = ("crash", "hang", "corrupt", "missing_key", "poison", "net_drop", "net_stall")
+
+#: kinds that act on the worker's *reply* path, not at chunk entry
+_EXIT_KINDS = ("corrupt", "net_drop", "net_stall")
 
 
 @dataclass
@@ -179,7 +189,7 @@ class FaultPlan:
         makes bisection meaningful: only chunks *containing* the targeted
         job fail, so the bisector can corner it."""
         for spec in self.specs:
-            if spec.kind == "corrupt":
+            if spec.kind in _EXIT_KINDS:
                 continue  # handled on the result path
             if not any(spec.matches(j[0], j[3], tier) for j in jobs):
                 continue
@@ -215,6 +225,21 @@ class FaultPlan:
             return bytes(mangled)
         return blob
 
+    def transport_fault(self, jobs, tier: Optional[str] = None) -> Optional[FaultSpec]:
+        """Remote-worker reply hook: the matching ``net_drop``/``net_stall``
+        spec that should fire for this (already-proven) chunk, or ``None``.
+        The worker acts it out — dropping the connection or stalling the
+        send — because only the server side holds the socket."""
+        for spec in self.specs:
+            if spec.kind not in ("net_drop", "net_stall"):
+                continue
+            if not any(spec.matches(j[0], j[3], tier) for j in jobs):
+                continue
+            if not self._should_fire(spec):
+                continue
+            return spec
+        return None
+
     def fire_inline(
         self,
         job_id: int,
@@ -225,8 +250,8 @@ class FaultPlan:
         before each prove attempt; raises the typed error the process
         tier would have produced."""
         for spec in self.specs:
-            if spec.kind == "corrupt":
-                continue  # no wire envelope exists on the inline path
+            if spec.kind in _EXIT_KINDS:
+                continue  # no wire (or envelope) exists on the inline path
             if not spec.matches(job_id, strategy, tier):
                 continue
             if not self._should_fire(spec):

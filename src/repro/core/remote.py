@@ -12,27 +12,44 @@ socket instead of a pipe:
   protocol, and a connection that dies mid-frame raises — a remote peer
   is untrusted input, so the decode discipline of
   :mod:`repro.serialize` applies to the transport layer too.
-* **One connection per chunk dispatch.**  The dispatcher connects, sends
-  a ``JOBS`` frame, and waits for ``RESULTS`` or a typed ``ERROR``; a
-  worker that misses key material interleaves a ``KEY_REQUEST`` /
-  ``KEY_PUSH`` exchange (the existing keypair wire format) before
-  proving.  No connection state outlives a chunk, so a re-dispatch after
-  any failure starts clean on whichever worker the registry offers next.
+* **Pooled, persistent connections.**  :class:`ConnectionPool` keeps one
+  small LIFO of authenticated sockets per worker: a dispatch *acquires*
+  (reusing the warmest idle socket or dialling a new one), sends a
+  ``JOBS`` frame, waits for ``RESULTS`` or a typed ``ERROR`` — a worker
+  that misses key material interleaves a ``KEY_REQUEST``/``KEY_PUSH``
+  exchange first — then *releases* the socket for the next chunk.  Idle
+  sockets are reaped after ``idle_seconds``; a reused socket that turns
+  out to be half-open (the worker died while it sat idle) is discarded
+  and the dispatch silently retried once on a fresh dial.  The
+  ``connects``/``reuses`` counters make reuse auditable — the bench
+  records ``connects_per_proof`` and the regression gate watches it.
+* **Authenticated sessions.**  With ``REPRO_FLEET_TOKEN`` set, every new
+  connection runs an HMAC-SHA256 challenge–response handshake
+  (``HELLO``/``CHALLENGE``/``AUTH``/``AUTH_OK`` frames, mutual,
+  constant-time compares) before any payload-bearing frame; workers
+  reject unauthenticated peers with a typed ``auth-failed`` ERROR
+  *before decoding a single job byte*.
 * **Failure accounting is reused wholesale.**  The socket layer maps
   failures into the PR-6 taxonomy — connection refused/empty fleet ⇒
-  :class:`~repro.core.errors.WorkerUnavailable`, connection lost
-  mid-chunk ⇒ :class:`~repro.core.errors.WorkerCrash`, socket deadline
-  (the chunk lease) ⇒ :class:`~repro.core.errors.ChunkTimeout` — and
-  hands them to the *same* :func:`repro.core.pool.resolve_chunk`
+  :class:`~repro.core.errors.WorkerUnavailable`, handshake rejection ⇒
+  :class:`~repro.core.errors.FleetAuthError`, connection lost mid-chunk
+  ⇒ :class:`~repro.core.errors.WorkerCrash`, socket deadline (the chunk
+  lease) ⇒ :class:`~repro.core.errors.ChunkTimeout` — and hands them to
+  the *same* :func:`repro.core.pool.resolve_chunk`
   retry/bisect/quarantine loop the process pool uses.  ``ChunkLease``
   and ``RetryPolicy`` never learn whether the chunk died in a subprocess
   or across a socket.
-* **Registry + heartbeats.**  :class:`WorkerRegistry` round-robins
-  dispatches over the workers currently believed healthy, marks hosts
-  dead on connection failures, and (optionally, on a background thread)
-  revives them via ``PING``/``PONG`` probes; the live count feeds
-  :meth:`repro.core.pool.GroupChunkPolicy.plan` so placement follows the
-  fleet's actual capacity.
+* **Health-aware placement.**  :class:`WorkerRegistry` pairs each worker
+  with a :class:`~repro.core.resilience.CircuitBreaker` fed by dispatch
+  outcomes (failure + latency EWMAs).  Placement spreads round-robin
+  over the *best-scoring admissible* workers — a flapping host trips its
+  breaker open and is shed before it burns retry budget, then rejoins
+  via a single half-open probe after a deterministic cooldown.
+  Reachability stays separate: connection failures mark a host dead,
+  heartbeat ``PING``/``PONG`` probes (optional background thread) revive
+  it, and :meth:`WorkerRegistry.placeable_count` feeds
+  :meth:`repro.core.pool.GroupChunkPolicy.plan` so chunk counts follow
+  the fleet's actually-usable capacity.
 
 The server side lives in :mod:`repro.core.remote_worker`
 (``python -m repro.core.remote_worker``).
@@ -40,7 +57,9 @@ The server side lives in :mod:`repro.core.remote_worker`
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import socket
 import struct
 import threading
@@ -57,13 +76,14 @@ from .. import serialize
 from .errors import (
     ChunkTimeout,
     CorruptEnvelope,
+    FleetAuthError,
     WorkerCrash,
     WorkerUnavailable,
     error_from_kind,
     wrap_error,
 )
 from .pool import ChunkTag, PoolOutcome, resolve_chunk
-from .resilience import RetryPolicy
+from .resilience import BreakerConfig, CircuitBreaker, RetryPolicy
 
 # -- frame protocol --------------------------------------------------------------
 
@@ -83,8 +103,25 @@ KEY_PUSH = 5      # dispatcher -> worker: keypair bytes (empty = unavailable)
 PING = 6          # dispatcher -> worker: heartbeat probe (empty payload)
 PONG = 7          # worker -> dispatcher: JSON stats payload
 SHUTDOWN = 8      # dispatcher -> worker: drain and exit (empty payload)
+HELLO = 9         # client -> worker: auth version + client nonce
+CHALLENGE = 10    # worker -> client: server nonce
+AUTH = 11         # client -> worker: HMAC over both nonces
+AUTH_OK = 12      # worker -> client: reciprocal HMAC (mutual auth)
 
-FRAME_KINDS = (JOBS, RESULTS, ERROR, KEY_REQUEST, KEY_PUSH, PING, PONG, SHUTDOWN)
+FRAME_KINDS = (
+    JOBS,
+    RESULTS,
+    ERROR,
+    KEY_REQUEST,
+    KEY_PUSH,
+    PING,
+    PONG,
+    SHUTDOWN,
+    HELLO,
+    CHALLENGE,
+    AUTH,
+    AUTH_OK,
+)
 
 _HEADER = struct.Struct(">4sBI")
 
@@ -149,6 +186,232 @@ def recv_frame(sock: socket.socket) -> Optional[Tuple[int, bytes]]:
     return kind, payload
 
 
+# -- authenticated session handshake ----------------------------------------------
+
+#: shared-secret fleet token; when set (non-empty) both sides require the
+#: HMAC handshake on every connection before any payload-bearing frame
+TOKEN_ENV = "REPRO_FLEET_TOKEN"
+
+
+def fleet_token(env=os.environ) -> Optional[bytes]:
+    """The configured fleet token as bytes, or ``None`` (auth disabled)."""
+    value = env.get(TOKEN_ENV)
+    return value.encode("utf-8") if value else None
+
+
+def _auth_mac(token: bytes, role: bytes, mine: bytes, theirs: bytes) -> bytes:
+    """HMAC-SHA256 binding both session nonces under a role label, so a
+    client proof can never be replayed as a worker proof (or vice versa)."""
+    return hmac.new(token, b"RPV1-auth\x00" + role + mine + theirs, "sha256").digest()
+
+
+def client_handshake(sock: socket.socket, token: bytes) -> None:
+    """Run the client side of the HELLO/CHALLENGE/AUTH/AUTH_OK exchange.
+
+    Raises :class:`~repro.core.errors.FleetAuthError` on an explicit
+    rejection, a malformed handshake frame, or a failed MAC check —
+    genuine trust failures, which are terminal (retrying cannot help).
+    A peer that merely *dies* mid-handshake raises ``ConnectionError``
+    instead: that is a transport failure like any other and must stay
+    retryable, or a worker crash during dial would masquerade as an auth
+    problem and poison the chunk.  Mutual: the worker's ``AUTH_OK``
+    proof is verified too, so a client cannot be lured into shipping
+    witness-bearing job payloads to an impostor worker.
+    """
+
+    def _expect(expected_kind: int, what: str) -> bytes:
+        try:
+            frame = recv_frame(sock)
+        except serialize.SerializationError as exc:
+            raise FleetAuthError(f"malformed frame awaiting {what}: {exc}") from exc
+        if frame is None:
+            raise ConnectionError(f"worker hung up awaiting {what}")
+        kind, payload = frame
+        if kind == ERROR:
+            err_kind, message, job_id = serialize.remote_error_from_bytes(payload)
+            raise error_from_kind(err_kind, message, job_id=job_id)
+        if kind != expected_kind:
+            raise FleetAuthError(f"expected {what}, got frame kind {kind}")
+        return payload
+
+    nonce_c = os.urandom(serialize.AUTH_NONCE_BYTES)
+    send_frame(sock, HELLO, serialize.auth_hello_to_bytes(nonce_c))
+    challenge = _expect(CHALLENGE, "CHALLENGE")
+    try:
+        nonce_s = serialize.auth_challenge_from_bytes(challenge)
+    except serialize.SerializationError as exc:
+        raise FleetAuthError(f"malformed CHALLENGE: {exc}") from exc
+    send_frame(
+        sock,
+        AUTH,
+        serialize.auth_mac_to_bytes(_auth_mac(token, b"client", nonce_c, nonce_s)),
+    )
+    proof = _expect(AUTH_OK, "AUTH_OK")
+    try:
+        worker_mac = serialize.auth_mac_from_bytes(proof)
+    except serialize.SerializationError as exc:
+        raise FleetAuthError(f"malformed AUTH_OK: {exc}") from exc
+    if not hmac.compare_digest(
+        worker_mac, _auth_mac(token, b"worker", nonce_s, nonce_c)
+    ):
+        raise FleetAuthError("worker failed mutual authentication")
+
+
+def open_connection(
+    addr: Tuple[str, int], timeout: float, token: Optional[bytes]
+) -> socket.socket:
+    """Dial ``addr`` and (when a token is configured) authenticate the
+    session; the socket comes back with ``timeout`` installed.  Raises
+    ``OSError`` for reachability failures and
+    :class:`~repro.core.errors.FleetAuthError` for handshake ones."""
+    sock = socket.create_connection(addr, timeout=timeout)
+    try:
+        sock.settimeout(timeout)
+        if token is not None:
+            client_handshake(sock, token)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+# -- connection pool --------------------------------------------------------------
+
+@dataclass
+class PooledConnection:
+    """One persistent socket plus the bookkeeping the pool needs."""
+
+    sock: socket.socket
+    addr: Tuple[str, int]
+    last_used: float
+    reused: bool = False  # True when acquire() handed out an idle socket
+
+
+class ConnectionPool:
+    """Per-worker pools of persistent (optionally authenticated) sockets.
+
+    ``acquire`` pops the most-recently-used idle socket for the address
+    (LIFO — the warmest socket is the least likely to have hit the
+    worker's idle horizon) or dials a new one; ``release`` returns a
+    socket after a clean exchange; ``discard`` destroys one after any
+    fault.  Idle sockets older than ``idle_seconds`` are reaped on every
+    acquire/release.  ``connects``/``reuses``/``reaped`` counters are the
+    auditable record that pooling actually pools — asserted in tests and
+    recorded by the bench as ``connects_per_proof``.
+    """
+
+    def __init__(
+        self,
+        connect_timeout: float = 2.0,
+        idle_seconds: float = 30.0,
+        max_idle_per_worker: int = 4,
+        auth_token: Optional[bytes] = None,
+        clock=time.monotonic,
+    ):
+        self.connect_timeout = connect_timeout
+        self.idle_seconds = idle_seconds
+        self.max_idle_per_worker = max_idle_per_worker
+        self.auth_token = auth_token
+        self.clock = clock
+        self._idle: Dict[Tuple[str, int], List[PooledConnection]] = {}
+        self._guard = threading.Lock()
+        self.connects = 0
+        self.reuses = 0
+        self.reaped = 0
+
+    def acquire(self, addr: Tuple[str, int]) -> PooledConnection:
+        """An open (authenticated) connection to ``addr`` — reused when a
+        fresh-enough idle one exists, newly dialled otherwise."""
+        self.reap()
+        with self._guard:
+            idle = self._idle.get(addr)
+            if idle:
+                conn = idle.pop()
+                conn.reused = True
+                self.reuses += 1
+                return conn
+        sock = open_connection(addr, self.connect_timeout, self.auth_token)
+        with self._guard:
+            self.connects += 1
+        return PooledConnection(sock=sock, addr=addr, last_used=self.clock())
+
+    def release(self, conn: PooledConnection) -> None:
+        """Return a healthy connection for reuse (closed instead when the
+        per-worker idle list is full)."""
+        conn.last_used = self.clock()
+        conn.reused = False
+        with self._guard:
+            idle = self._idle.setdefault(conn.addr, [])
+            if len(idle) < self.max_idle_per_worker:
+                idle.append(conn)
+                conn = None
+        if conn is not None:
+            self._close(conn)
+        self.reap()
+
+    def discard(self, conn: PooledConnection) -> None:
+        """Destroy a connection after a fault; never returns it to the
+        pool."""
+        self._close(conn)
+
+    def drop_worker(self, addr: Tuple[str, int]) -> None:
+        """Close every idle connection to a worker believed dead."""
+        with self._guard:
+            idle = self._idle.pop(addr, [])
+        for conn in idle:
+            self._close(conn)
+
+    def reap(self, now: Optional[float] = None) -> int:
+        """Close idle connections past the idle horizon; returns how many
+        were reaped (cumulative count in ``self.reaped``)."""
+        now = self.clock() if now is None else now
+        stale: List[PooledConnection] = []
+        with self._guard:
+            for addr, idle in self._idle.items():
+                keep = []
+                for conn in idle:
+                    if now - conn.last_used > self.idle_seconds:
+                        stale.append(conn)
+                    else:
+                        keep.append(conn)
+                self._idle[addr] = keep
+            self.reaped += len(stale)
+        for conn in stale:
+            self._close(conn)
+        return len(stale)
+
+    def close(self) -> None:
+        """Close every idle connection (in-flight ones are their
+        borrowers' problem).  Idempotent."""
+        with self._guard:
+            all_idle = [c for idle in self._idle.values() for c in idle]
+            self._idle.clear()
+        for conn in all_idle:
+            self._close(conn)
+
+    def idle_count(self, addr: Optional[Tuple[str, int]] = None) -> int:
+        with self._guard:
+            if addr is not None:
+                return len(self._idle.get(addr, []))
+            return sum(len(idle) for idle in self._idle.values())
+
+    def stats(self) -> dict:
+        with self._guard:
+            return {
+                "connects": self.connects,
+                "reuses": self.reuses,
+                "reaped": self.reaped,
+                "idle": sum(len(idle) for idle in self._idle.values()),
+            }
+
+    @staticmethod
+    def _close(conn: PooledConnection) -> None:
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+
 # -- worker registry -------------------------------------------------------------
 
 def parse_worker_addr(spec) -> Tuple[str, int]:
@@ -171,6 +434,8 @@ class WorkerInfo:
     healthy: bool = True  # presumed innocent until a connection fails
     last_seen: float = 0.0  # monotonic time of the last successful contact
     stats: dict = field(default_factory=dict)  # last PONG payload
+    #: dispatch-outcome circuit breaker (reachability lives in ``healthy``)
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
 
     @property
     def addr(self) -> Tuple[str, int]:
@@ -178,13 +443,19 @@ class WorkerInfo:
 
 
 class WorkerRegistry:
-    """Tracks worker liveness and hands out dispatch targets.
+    """Tracks worker health and hands out dispatch targets.
 
-    Dispatches round-robin over the currently-healthy set; a connection
-    failure marks the host dead, and a successful ``PING`` (one-shot via
-    :meth:`check_now`, or periodic via :meth:`start_heartbeat`) revives
-    it.  All methods are thread-safe — dispatch threads and the heartbeat
-    thread share this object.
+    Two independent signals gate placement: ``healthy`` is binary
+    reachability (a connection failure clears it, a successful ``PING``
+    — one-shot via :meth:`check_now` or periodic via
+    :meth:`start_heartbeat` — restores it), while each worker's
+    :class:`~repro.core.resilience.CircuitBreaker` integrates *dispatch
+    outcomes* into failure/latency EWMAs, so a host that answers pings
+    but keeps botching or slow-walking chunks is shed anyway.
+    :meth:`next_worker` round-robins over the admissible workers with the
+    best (quantized) health score — with a uniform fleet that degenerates
+    to plain round-robin, so placement stays spread by default.  All
+    methods are thread-safe.
     """
 
     def __init__(
@@ -192,11 +463,24 @@ class WorkerRegistry:
         addresses: Sequence,
         connect_timeout: float = 2.0,
         heartbeat_seconds: float = 0.0,
+        auth_token: Optional[bytes] = None,
+        breaker_config: Optional[BreakerConfig] = None,
+        clock=time.monotonic,
     ):
         self.connect_timeout = connect_timeout
         self.heartbeat_seconds = heartbeat_seconds
+        # Like the executor, fall back to the ambient fleet token: a
+        # registry pinging token-protected workers must authenticate no
+        # matter who constructed it.
+        self.auth_token = auth_token if auth_token is not None else fleet_token()
+        self.clock = clock
+        config = breaker_config if breaker_config is not None else BreakerConfig()
         self._workers: List[WorkerInfo] = [
-            WorkerInfo(*parse_worker_addr(a)) for a in addresses
+            WorkerInfo(
+                *parse_worker_addr(a),
+                breaker=CircuitBreaker(config, clock=clock),
+            )
+            for a in addresses
         ]
         self._guard = threading.Lock()
         self._rr = 0
@@ -214,25 +498,98 @@ class WorkerRegistry:
     def live_count(self) -> int:
         return len(self.healthy())
 
-    def next_worker(self) -> Tuple[str, int]:
-        """The next healthy worker, round-robin; raises
-        :class:`~repro.core.errors.WorkerUnavailable` when the whole
-        fleet is dead or empty."""
+    def placeable_count(self) -> int:
+        """Workers placement may actually use right now: reachable AND
+        breaker-admissible.  Feeds chunk planning, so an open breaker
+        shrinks the chunk fan-out instead of stranding chunks."""
+        now = self.clock()
         with self._guard:
             live = [w for w in self._workers if w.healthy]
-            if not live:
+        return sum(1 for w in live if w.breaker.admissible(now)) or (
+            # Every breaker open: planning still needs a floor — the
+            # half-open probes themselves are how the fleet recovers.
+            1 if live else 0
+        )
+
+    def _score(self, worker: WorkerInfo, best_latency: Optional[float]) -> int:
+        """Coarse health bucket (lower = better).  Quantized so workers
+        with merely-noisy differences stay tied and round-robin keeps
+        them evenly loaded; only meaningful degradation (failure EWMA
+        mass, or latency ≥ 4× the fleet's best) demotes a worker."""
+        score = int(worker.breaker.failure_ewma * 4.0)
+        latency = worker.breaker.latency_ewma
+        if (
+            best_latency is not None
+            and latency is not None
+            and best_latency > 0
+            and latency >= 4.0 * best_latency
+        ):
+            score += 1
+        return score
+
+    def next_worker(self) -> Tuple[str, int]:
+        """The next admissible worker — round-robin over the
+        best-health-bucket subset; raises
+        :class:`~repro.core.errors.WorkerUnavailable` when the whole
+        fleet is dead, tripped, or empty."""
+        now = self.clock()
+        with self._guard:
+            live = [w for w in self._workers if w.healthy]
+            admissible = [w for w in live if w.breaker.admissible(now)]
+            if not admissible:
+                # A fully-tripped (but reachable) fleet still serves the
+                # earliest-probing worker: someone must carry the probe.
+                admissible = live
+            if not admissible:
                 raise WorkerUnavailable(
                     f"no healthy workers ({len(self._workers)} registered)"
                 )
-            worker = live[self._rr % len(live)]
+            latencies = [
+                w.breaker.latency_ewma
+                for w in admissible
+                if w.breaker.latency_ewma is not None
+            ]
+            best_latency = min(latencies) if latencies else None
+            scores = [self._score(w, best_latency) for w in admissible]
+            best = min(scores)
+            pool = [w for w, s in zip(admissible, scores) if s == best]
+            worker = pool[self._rr % len(pool)]
             self._rr += 1
-            return worker.addr
+        worker.breaker.note_dispatch(now)
+        return worker.addr
+
+    def record_success(
+        self, addr: Tuple[str, int], latency_seconds: Optional[float] = None
+    ) -> None:
+        """A dispatch on ``addr`` completed a clean exchange."""
+        self.mark_alive(addr)
+        w = self._find_locked(addr)
+        if w is not None:
+            w.breaker.record_success(latency_seconds)
+
+    def record_failure(
+        self,
+        addr: Tuple[str, int],
+        latency_seconds: Optional[float] = None,
+        dead: bool = False,
+    ) -> None:
+        """A dispatch on ``addr`` failed; ``dead=True`` additionally
+        clears reachability (connection-level failures)."""
+        if dead:
+            self.mark_dead(addr)
+        w = self._find_locked(addr)
+        if w is not None:
+            w.breaker.record_failure(latency_seconds)
 
     def _find(self, addr: Tuple[str, int]) -> Optional[WorkerInfo]:
         for w in self._workers:
             if w.addr == addr:
                 return w
         return None
+
+    def _find_locked(self, addr: Tuple[str, int]) -> Optional[WorkerInfo]:
+        with self._guard:
+            return self._find(addr)
 
     def mark_dead(self, addr: Tuple[str, int]) -> None:
         with self._guard:
@@ -250,14 +607,17 @@ class WorkerRegistry:
                     w.stats = stats
 
     def ping(self, addr: Tuple[str, int]) -> Optional[dict]:
-        """One ``PING``/``PONG`` round trip; updates liveness and returns
-        the worker's stats payload (``None`` if unreachable)."""
+        """One ``PING``/``PONG`` round trip (on a throwaway, authenticated
+        connection); updates reachability — never the breaker, which is
+        dispatch-outcome-only — and returns the worker's stats payload
+        (``None`` if unreachable)."""
         try:
-            with socket.create_connection(addr, timeout=self.connect_timeout) as s:
-                s.settimeout(self.connect_timeout)
+            with open_connection(
+                addr, self.connect_timeout, self.auth_token
+            ) as s:
                 send_frame(s, PING)
                 frame = recv_frame(s)
-        except (OSError, ValueError):
+        except (OSError, ValueError, FleetAuthError):
             self.mark_dead(addr)
             return None
         if frame is None or frame[0] != PONG:
@@ -299,6 +659,13 @@ class WorkerRegistry:
 
 # -- the executor ----------------------------------------------------------------
 
+class _StaleConnection(Exception):
+    """Internal: a *reused* pooled socket failed before the worker said
+    anything — almost certainly a half-open connection whose worker end
+    died while it sat idle.  The dispatch retries once on a fresh dial
+    without charging the worker's breaker."""
+
+
 class RemoteProvingExecutor:
     """Runs same-circuit job chunks on a fleet of TCP worker hosts.
 
@@ -329,11 +696,25 @@ class RemoteProvingExecutor:
         connect_timeout: float = 2.0,
         heartbeat_seconds: float = 0.0,
         default_timeout_seconds: float = 600.0,
+        auth_token: Optional[bytes] = None,
+        breaker_config: Optional[BreakerConfig] = None,
+        pool_idle_seconds: float = 30.0,
     ):
+        token = auth_token if auth_token is not None else fleet_token()
+        if isinstance(token, str):
+            token = token.encode("utf-8")
+        self.auth_token = token
         self.registry = WorkerRegistry(
             workers,
             connect_timeout=connect_timeout,
             heartbeat_seconds=heartbeat_seconds,
+            auth_token=token,
+            breaker_config=breaker_config,
+        )
+        self.pool = ConnectionPool(
+            connect_timeout=connect_timeout,
+            idle_seconds=pool_idle_seconds,
+            auth_token=token,
         )
         self.workers = max(1, len(self.registry.workers()))
         self.retry_policy = (
@@ -346,89 +727,160 @@ class RemoteProvingExecutor:
         #: degradation-ladder signal, symmetric with the process pool's
         #: pool-teardown count
         self.breakages = 0
+        #: chunk dispatches attempted (each needing one pooled connection)
+        #: — with pooling, ``dispatches ≫ pool.connects``
+        self.dispatches = 0
+        self._stats_guard = threading.Lock()
         self._threads: Optional[ThreadPoolExecutor] = None
         self.registry.start_heartbeat()
 
     # -- transport ---------------------------------------------------------------
     def _dispatch(self, blob: bytes, timeout_s: Optional[float]) -> bytes:
-        """One chunk on one worker over one connection; returns the raw
-        job-results envelope or raises a typed
-        :class:`~repro.core.errors.ProvingError`."""
+        """One chunk on one worker over one *pooled* connection; returns
+        the raw job-results envelope or raises a typed
+        :class:`~repro.core.errors.ProvingError`.
+
+        A reused socket that fails before the worker utters a byte is
+        presumed half-open (its worker end died while it idled): the
+        dispatch discards it and silently retries once on a freshly
+        dialled connection — the worker's breaker is only charged for
+        faults on a connection known to be live.
+        """
         addr = self.registry.next_worker()
         deadline = timeout_s if timeout_s is not None else self.default_timeout_seconds
-        try:
-            sock = socket.create_connection(addr, timeout=self.connect_timeout)
-        except OSError as exc:
-            self.registry.mark_dead(addr)
-            self.breakages += 1
-            raise WorkerUnavailable(
-                f"worker {addr[0]}:{addr[1]} unreachable: {exc}"
-            ) from exc
-        try:
-            sock.settimeout(deadline)
-            send_frame(sock, JOBS, blob)
-            while True:
-                try:
-                    frame = recv_frame(sock)
-                except socket.timeout:
-                    # The chunk lease expired on the wire: presume the
-                    # worker hung, avoid it until a heartbeat revives it.
-                    self.registry.mark_dead(addr)
-                    self.breakages += 1
-                    raise ChunkTimeout(
-                        f"chunk lease expired on worker {addr[0]}:{addr[1]}",
-                        deadline_seconds=deadline,
-                    ) from None
-                except (ConnectionError, OSError) as exc:
-                    self.registry.mark_dead(addr)
-                    self.breakages += 1
-                    raise WorkerCrash(
-                        f"connection to worker {addr[0]}:{addr[1]} lost "
-                        f"mid-chunk: {exc}"
-                    ) from exc
-                except serialize.SerializationError as exc:
-                    # A mangled frame is a transport fault, same class as
-                    # a mangled envelope: retryable, not bisectable.
-                    raise CorruptEnvelope(
-                        f"corrupt frame from worker {addr[0]}:{addr[1]}: {exc}",
-                        offset=exc.offset,
-                    ) from exc
-                if frame is None:
-                    self.registry.mark_dead(addr)
-                    self.breakages += 1
-                    raise WorkerCrash(
-                        f"worker {addr[0]}:{addr[1]} hung up without a result"
-                    )
-                kind, payload = frame
-                if kind == RESULTS:
-                    self.registry.mark_alive(addr)
-                    return payload
-                if kind == ERROR:
-                    err_kind, message, job_id = serialize.remote_error_from_bytes(
-                        payload
-                    )
-                    # The worker is alive and talking — the *chunk* failed.
-                    self.registry.mark_alive(addr)
-                    raise error_from_kind(err_kind, message, job_id=job_id)
-                if kind == KEY_REQUEST:
-                    shape, strategy, backend = serialize.circuit_key_from_bytes(
-                        payload
-                    )
-                    key_blob = b""
-                    if self.key_provider is not None:
-                        try:
-                            key_blob = (
-                                self.key_provider(shape, strategy, backend) or b""
-                            )
-                        except Exception:  # noqa: BLE001 — worker reports the miss
-                            key_blob = b""
-                    send_frame(sock, KEY_PUSH, key_blob)
-                    continue
-                raise serialize.SerializationError(
-                    f"unexpected frame kind {kind} awaiting results"
+        with self._stats_guard:
+            self.dispatches += 1
+        t0 = time.monotonic()
+        for attempt in (1, 2):
+            try:
+                conn = self.pool.acquire(addr)
+            except FleetAuthError as exc:
+                self.registry.record_failure(addr)
+                exc.message = f"worker {addr[0]}:{addr[1]}: {exc.message}"
+                raise
+            except OSError as exc:
+                self.registry.record_failure(addr, dead=True)
+                self.pool.drop_worker(addr)
+                self.breakages += 1
+                raise WorkerUnavailable(
+                    f"worker {addr[0]}:{addr[1]} unreachable: {exc}"
+                ) from exc
+            try:
+                return self._exchange(
+                    conn,
+                    blob,
+                    deadline,
+                    t0,
+                    # Only a *reused* socket earns the free retry, and
+                    # only on the first attempt — a fresh dial that dies
+                    # is a real worker fault.
+                    may_be_stale=conn.reused and attempt == 1,
                 )
-        finally:
-            sock.close()
+            except _StaleConnection:
+                continue
+        raise AssertionError("unreachable: stale retry loop exited")  # pragma: no cover
+
+    def _exchange(
+        self,
+        conn: PooledConnection,
+        blob: bytes,
+        deadline: float,
+        t0: float,
+        may_be_stale: bool,
+    ) -> bytes:
+        addr = conn.addr
+        progressed = False  # any byte received this exchange?
+
+        def _connection_died(exc_or_none) -> BaseException:
+            self.pool.discard(conn)
+            if may_be_stale and not progressed:
+                return _StaleConnection()
+            self.registry.record_failure(addr, dead=True)
+            self.pool.drop_worker(addr)
+            self.breakages += 1
+            return WorkerCrash(
+                f"connection to worker {addr[0]}:{addr[1]} lost mid-chunk"
+                + (f": {exc_or_none}" if exc_or_none is not None else "")
+            )
+
+        try:
+            conn.sock.settimeout(deadline)
+            send_frame(conn.sock, JOBS, blob)
+        except socket.timeout:
+            self.pool.discard(conn)
+            self.registry.record_failure(addr, dead=True)
+            self.breakages += 1
+            raise ChunkTimeout(
+                f"chunk lease expired on worker {addr[0]}:{addr[1]}",
+                deadline_seconds=deadline,
+            ) from None
+        except (ConnectionError, OSError) as exc:
+            raise _connection_died(exc) from exc
+        while True:
+            try:
+                frame = recv_frame(conn.sock)
+            except socket.timeout:
+                # The chunk lease expired on the wire: presume the
+                # worker hung, avoid it until a heartbeat revives it.
+                self.pool.discard(conn)
+                self.registry.record_failure(addr, dead=True)
+                self.breakages += 1
+                raise ChunkTimeout(
+                    f"chunk lease expired on worker {addr[0]}:{addr[1]}",
+                    deadline_seconds=deadline,
+                ) from None
+            except (ConnectionError, OSError) as exc:
+                raise _connection_died(exc) from exc
+            except serialize.SerializationError as exc:
+                # A mangled frame is a transport fault, same class as
+                # a mangled envelope: retryable, not bisectable.
+                self.pool.discard(conn)
+                self.registry.record_failure(addr)
+                raise CorruptEnvelope(
+                    f"corrupt frame from worker {addr[0]}:{addr[1]}: {exc}",
+                    offset=exc.offset,
+                ) from exc
+            if frame is None:
+                raise _connection_died(None)
+            progressed = True
+            kind, payload = frame
+            if kind == RESULTS:
+                self.registry.record_success(addr, time.monotonic() - t0)
+                self.pool.release(conn)
+                return payload
+            if kind == ERROR:
+                err_kind, message, job_id = serialize.remote_error_from_bytes(
+                    payload
+                )
+                # The worker is alive and talking — the *chunk* failed;
+                # the exchange itself was clean, so the connection (and
+                # the worker's transport health) survive.
+                self.registry.record_success(addr, time.monotonic() - t0)
+                self.pool.release(conn)
+                raise error_from_kind(err_kind, message, job_id=job_id)
+            if kind == KEY_REQUEST:
+                shape, strategy, backend = serialize.circuit_key_from_bytes(
+                    payload
+                )
+                key_blob = b""
+                if self.key_provider is not None:
+                    try:
+                        key_blob = (
+                            self.key_provider(shape, strategy, backend) or b""
+                        )
+                    except Exception:  # noqa: BLE001 — worker reports the miss
+                        key_blob = b""
+                try:
+                    send_frame(conn.sock, KEY_PUSH, key_blob)
+                except (ConnectionError, OSError) as exc:
+                    raise _connection_died(exc) from exc
+                continue
+            self.pool.discard(conn)
+            self.registry.record_failure(addr)
+            raise CorruptEnvelope(
+                f"unexpected frame kind {kind} from worker "
+                f"{addr[0]}:{addr[1]} awaiting results"
+            )
 
     # -- executor interface -------------------------------------------------------
     def start(
@@ -511,26 +963,41 @@ class RemoteProvingExecutor:
             return PoolOutcome()
         return self.finish(tasks, self.start(tasks, timeouts), timeouts)
 
-    def shutdown(self) -> None:
-        """Stop the heartbeat and dispatch threads.  Idempotent.  Does
-        NOT stop the workers — the fleet outlives any one dispatcher; use
+    def transport_stats(self) -> dict:
+        """Connection-economy counters: pooled ``connects``/``reuses``
+        (plus reap/idle accounting) and chunk ``dispatches``.  A healthy
+        pooled fleet shows ``dispatches ≫ connects``."""
+        stats = self.pool.stats()
+        with self._stats_guard:
+            stats["dispatches"] = self.dispatches
+        return stats
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the heartbeat, dispatch threads, and connection pool.
+        ``drain=True`` waits for in-flight dispatches to finish first
+        (their results are lost either way — callers drain via
+        :meth:`finish` — but the workers' in-progress chunks get their
+        replies consumed instead of a reset).  Idempotent.  Does NOT stop
+        the workers — the fleet outlives any one dispatcher; use
         :meth:`shutdown_workers` to drain owned (loopback) fleets."""
         self.registry.stop()
         threads, self._threads = self._threads, None
         if threads is not None:
-            threads.shutdown(wait=False, cancel_futures=True)
+            threads.shutdown(wait=drain, cancel_futures=not drain)
+        self.pool.close()
 
     def shutdown_workers(self) -> None:
         """Send every registered worker a ``SHUTDOWN`` frame (best
-        effort) — for fleets this process launched and owns."""
+        effort, authenticated like any other connection) — for fleets
+        this process launched and owns."""
         for w in self.registry.workers():
             try:
-                with socket.create_connection(
-                    w.addr, timeout=self.connect_timeout
+                with open_connection(
+                    w.addr, self.connect_timeout, self.auth_token
                 ) as s:
                     send_frame(s, SHUTDOWN)
-            except OSError:
-                pass  # already gone
+            except (OSError, FleetAuthError):
+                pass  # already gone (or never ours to stop)
 
 
 __all__ = [
@@ -544,11 +1011,21 @@ __all__ = [
     "PING",
     "PONG",
     "SHUTDOWN",
+    "HELLO",
+    "CHALLENGE",
+    "AUTH",
+    "AUTH_OK",
     "FRAME_KINDS",
+    "TOKEN_ENV",
     "encode_frame",
     "send_frame",
     "recv_frame",
+    "fleet_token",
+    "client_handshake",
+    "open_connection",
     "parse_worker_addr",
+    "PooledConnection",
+    "ConnectionPool",
     "WorkerInfo",
     "WorkerRegistry",
     "RemoteProvingExecutor",

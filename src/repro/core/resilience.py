@@ -12,12 +12,20 @@ tier should be abandoned for the next rung of the degradation ladder.
 :class:`ChunkLease` is the per-chunk deadline record the process executor
 keeps while futures are in flight: issued at dispatch, checked against a
 monotonic clock, expired leases trigger pool teardown and re-dispatch.
+
+:class:`CircuitBreaker` is the per-worker health gate the remote
+registry consults before placement: dispatch outcomes feed failure and
+latency EWMAs, a worker that fails too often trips *open* (no dispatches),
+and after a deterministic cooldown a single *half-open* probe decides
+whether it closes again or re-opens with an escalated cooldown.  The
+clock is injectable, so every transition is replayable in tests.
 """
 
 from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -92,6 +100,171 @@ class RetryPolicy:
             return None
         predicted = max(0.0, predicted_job_seconds) * max(1, n_jobs)
         return max(self.lease_floor_seconds, self.lease_multiplier * predicted)
+
+
+# -- per-worker circuit breaker ---------------------------------------------------
+
+#: breaker states (strings, not an enum: they travel into stats dicts)
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass
+class BreakerConfig:
+    """Tunable thresholds for :class:`CircuitBreaker` (all deterministic).
+
+    A breaker opens when either ``consecutive_failures`` dispatches in a
+    row fail, or — once at least ``min_samples`` outcomes are recorded —
+    the failure EWMA (per-outcome exponential moving average with weight
+    ``ewma_alpha``) crosses ``failure_threshold``.  An open breaker
+    schedules its half-open probe ``cooldown_seconds`` later, doubling
+    (``cooldown_multiplier``) per consecutive re-open up to
+    ``cooldown_max_seconds`` — a flapping worker is probed ever more
+    lazily, a recovered one rejoins after a single successful probe.
+    """
+
+    consecutive_failures: int = 3
+    failure_threshold: float = 0.5
+    min_samples: int = 4
+    ewma_alpha: float = 0.35
+    cooldown_seconds: float = 2.0
+    cooldown_multiplier: float = 2.0
+    cooldown_max_seconds: float = 30.0
+
+
+class CircuitBreaker:
+    """closed → open → half-open gate for one remote worker.
+
+    Thread-safe; fed by dispatch outcomes only (heartbeat reachability is
+    tracked separately by the registry — a worker that *answers pings but
+    botches chunks* is exactly what this catches).  All scheduling is
+    against the injected ``clock`` (``time.monotonic`` by default), so a
+    test with a fake clock steps every transition deterministically.
+    """
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        clock=time.monotonic,
+    ):
+        self.config = config if config is not None else BreakerConfig()
+        self.clock = clock
+        self._guard = threading.Lock()
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.failure_ewma = 0.0  # 0.0 = all success, 1.0 = all failure
+        self.latency_ewma: Optional[float] = None  # seconds; None until sampled
+        self.samples = 0
+        self.opened_count = 0  # escalation level (halved on each close)
+        self.total_opens = 0  # lifetime opens (stats only)
+        self.probe_at: Optional[float] = None  # when half-open admits a probe
+        self._probe_in_flight = False
+
+    # -- placement gate -----------------------------------------------------------
+    def admissible(self, now: Optional[float] = None) -> bool:
+        """Whether placement may offer this worker a chunk right now.
+        Read-only: claiming the half-open probe slot happens in
+        :meth:`note_dispatch`."""
+        with self._guard:
+            if self.state == BREAKER_CLOSED:
+                return True
+            now = self.clock() if now is None else now
+            if self.state == BREAKER_OPEN and self.probe_at is not None:
+                if now >= self.probe_at:
+                    return True  # cooldown served; a probe may be claimed
+                return False
+            if self.state == BREAKER_HALF_OPEN:
+                return not self._probe_in_flight
+            return False
+
+    def note_dispatch(self, now: Optional[float] = None) -> None:
+        """Record that placement chose this worker.  An open breaker past
+        its cooldown transitions to half-open here and claims the single
+        probe slot, so concurrent dispatch threads cannot double-probe."""
+        with self._guard:
+            now = self.clock() if now is None else now
+            if self.state == BREAKER_OPEN and (
+                self.probe_at is not None and now >= self.probe_at
+            ):
+                self.state = BREAKER_HALF_OPEN
+                self._probe_in_flight = True
+            elif self.state == BREAKER_HALF_OPEN:
+                self._probe_in_flight = True
+
+    # -- outcome feed -------------------------------------------------------------
+    def record_success(self, latency_seconds: Optional[float] = None) -> None:
+        with self._guard:
+            self._sample(failed=False, latency=latency_seconds)
+            self.consecutive_failures = 0
+            if self.state in (BREAKER_HALF_OPEN, BREAKER_OPEN):
+                # The probe (or a straggler dispatch) came back good:
+                # close, but keep the escalation history — a flapper that
+                # re-opens gets the next-longer cooldown.
+                self.state = BREAKER_CLOSED
+                self._probe_in_flight = False
+                self.probe_at = None
+                # Decay rather than reset the history: one good probe is
+                # evidence, not absolution — a flapper that re-opens still
+                # serves an escalated cooldown.
+                self.failure_ewma *= 0.5
+                self.opened_count //= 2
+
+    def record_failure(self, latency_seconds: Optional[float] = None) -> None:
+        with self._guard:
+            self._sample(failed=True, latency=latency_seconds)
+            self.consecutive_failures += 1
+            cfg = self.config
+            if self.state == BREAKER_HALF_OPEN:
+                self._open()  # failed probe: straight back to open, longer
+                return
+            if self.state == BREAKER_OPEN:
+                return  # stragglers from before the trip change nothing
+            tripped = self.consecutive_failures >= cfg.consecutive_failures or (
+                self.samples >= cfg.min_samples
+                and self.failure_ewma >= cfg.failure_threshold
+            )
+            if tripped:
+                self._open()
+
+    # -- internals ---------------------------------------------------------------
+    def _sample(self, failed: bool, latency: Optional[float]) -> None:
+        a = self.config.ewma_alpha
+        self.failure_ewma += a * ((1.0 if failed else 0.0) - self.failure_ewma)
+        if latency is not None:
+            if self.latency_ewma is None:
+                self.latency_ewma = latency
+            else:
+                self.latency_ewma += a * (latency - self.latency_ewma)
+        self.samples += 1
+
+    def _open(self) -> None:
+        cfg = self.config
+        self.state = BREAKER_OPEN
+        self._probe_in_flight = False
+        self.opened_count += 1
+        self.total_opens += 1
+        cooldown = min(
+            cfg.cooldown_max_seconds,
+            cfg.cooldown_seconds
+            * cfg.cooldown_multiplier ** max(0, self.opened_count - 1),
+        )
+        self.probe_at = self.clock() + cooldown
+
+    def snapshot(self) -> dict:
+        """Stats-dict view (registry PONG/report plumbing)."""
+        with self._guard:
+            return {
+                "state": self.state,
+                "failure_ewma": round(self.failure_ewma, 4),
+                "latency_ewma": (
+                    None
+                    if self.latency_ewma is None
+                    else round(self.latency_ewma, 6)
+                ),
+                "samples": self.samples,
+                "total_opens": self.total_opens,
+            }
 
 
 #: the pre-resilience configuration: single dispatch, no deadline, no

@@ -432,7 +432,9 @@ class ProvingService:
         dispatched: List[CircuitKeyT] = []
         live_workers = None
         if tier == "remote":
-            live_workers = pool.registry.live_count()
+            # Breaker-aware: a reachable worker whose circuit is open is
+            # not a dispatch target, so chunk fan-out must not count it.
+            live_workers = pool.registry.placeable_count()
         for key, jobs in groups.items():
             backend = get_backend(key[4])
             can_dispatch = (
@@ -710,13 +712,14 @@ class ProvingService:
         circuit/keypair/table caches; long-lived services that are done
         proving call this to reap the worker processes (interpreter exit
         reaps them regardless; a batch served after close() lazily builds
-        a fresh pool).  For the remote executor this stops the heartbeat
-        and dispatch threads but leaves the worker fleet running — the
-        fleet outlives any one dispatcher."""
+        a fresh pool).  For the remote executor this drains in-flight
+        dispatches, stops the heartbeat, and closes the pooled
+        connections, but leaves the worker fleet running — the fleet
+        outlives any one dispatcher."""
         if self._pool is not None:
             self._pool.shutdown()
         if self._remote is not None:
-            self._remote.shutdown()
+            self._remote.shutdown(drain=True)
 
     # -- verification -------------------------------------------------------------
     def verify_report(self, report: ServiceReport) -> bool:

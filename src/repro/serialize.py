@@ -673,3 +673,67 @@ def remote_error_from_bytes(data: bytes) -> Tuple[str, str, Optional[int]]:
     except (ValueError, struct.error) as exc:
         raise _corrupt("remote-error", r, exc) from exc
     return kind, message, None if job_id == _NO_JOB else job_id
+
+
+# -- fleet handshake payloads (HELLO / CHALLENGE / AUTH / AUTH_OK) ----------------
+#
+# These carry no job material, so decode failures stay plain
+# SerializationError (never CorruptEnvelope): a peer that cannot even
+# complete the handshake is an auth problem, not a chunk problem.
+
+AUTH_PROTOCOL_VERSION = 1
+AUTH_NONCE_BYTES = 16
+AUTH_MAC_BYTES = 32  # HMAC-SHA256 digest
+
+
+def auth_hello_to_bytes(nonce: bytes, version: int = AUTH_PROTOCOL_VERSION) -> bytes:
+    """HELLO payload: protocol version + the client's session nonce."""
+    if len(nonce) != AUTH_NONCE_BYTES:
+        raise SerializationError(
+            f"handshake nonce must be {AUTH_NONCE_BYTES} bytes, got {len(nonce)}"
+        )
+    return struct.pack(">I", version) + nonce
+
+
+def auth_hello_from_bytes(data: bytes) -> Tuple[int, bytes]:
+    r = _Reader(data)
+    version = struct.unpack(">I", r.take(4))[0]
+    nonce = r.take(AUTH_NONCE_BYTES)
+    r.done()
+    if version != AUTH_PROTOCOL_VERSION:
+        raise SerializationError(
+            f"unsupported handshake protocol version {version}", offset=0
+        )
+    return version, nonce
+
+
+def auth_challenge_to_bytes(nonce: bytes) -> bytes:
+    """CHALLENGE payload: the worker's session nonce."""
+    if len(nonce) != AUTH_NONCE_BYTES:
+        raise SerializationError(
+            f"handshake nonce must be {AUTH_NONCE_BYTES} bytes, got {len(nonce)}"
+        )
+    return nonce
+
+
+def auth_challenge_from_bytes(data: bytes) -> bytes:
+    r = _Reader(data)
+    nonce = r.take(AUTH_NONCE_BYTES)
+    r.done()
+    return nonce
+
+
+def auth_mac_to_bytes(mac: bytes) -> bytes:
+    """AUTH / AUTH_OK payload: one HMAC-SHA256 digest, nothing else."""
+    if len(mac) != AUTH_MAC_BYTES:
+        raise SerializationError(
+            f"handshake MAC must be {AUTH_MAC_BYTES} bytes, got {len(mac)}"
+        )
+    return mac
+
+
+def auth_mac_from_bytes(data: bytes) -> bytes:
+    r = _Reader(data)
+    mac = r.take(AUTH_MAC_BYTES)
+    r.done()
+    return mac

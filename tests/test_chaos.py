@@ -1,0 +1,78 @@
+"""Chaos soak: the fleet survives sustained churn with exactly-once results.
+
+Two tiers:
+
+* ``test_chaos_smoke`` — a scaled-down soak (one kill, one net_drop) that
+  always runs; a few seconds of wall clock.
+* ``test_chaos_soak_acceptance`` — the acceptance-sized soak (200 jobs,
+  3 kills/restarts, net drops + a lease-busting stall, authenticated
+  fleet, verified reference).  ~1 min of wall clock, so it only runs
+  when ``REPRO_CHAOS_SOAK`` is set — the dedicated CI job sets it.
+
+Both assert the same contract: zero lost jobs, zero duplicated jobs, no
+degradation-ladder fallbacks (transport-level recovery absorbed every
+fault), byte-identical Groth16 bundles vs a fault-free run, and a
+connection pool that actually pools (dispatches > connects).
+"""
+
+import os
+
+import pytest
+
+from repro.core.chaos import ChaosConfig, ChaosReport, run_chaos
+
+
+def _assert_contract(report: ChaosReport, config: ChaosConfig) -> None:
+    assert report.errors == []
+    assert report.lost_ids == [], f"lost jobs: {report.lost_ids}"
+    assert report.duplicate_ids == [], f"duplicated jobs: {report.duplicate_ids}"
+    assert len(report.bundles) == config.jobs
+    # Transport-level recovery (retries on surviving/restarted workers)
+    # must absorb every injected fault; an inline fallback would also
+    # break byte-identity, so its absence is asserted separately.
+    assert report.fallbacks == []
+    assert report.kills == config.kills
+    assert report.restarts == config.kills
+    assert report.net_faults_fired >= 1, "no network fault actually fired"
+    # The soak ran through a pool that pools: connection reuse dominates.
+    assert report.transport["dispatches"] > report.transport["connects"]
+    assert report.transport["reuses"] > 0
+    # Byte-identity against the fault-free reference run.
+    assert set(report.bundles) == set(report.reference_bundles)
+    mismatched = [
+        job_id
+        for job_id, blob in report.bundles.items()
+        if report.reference_bundles[job_id] != blob
+    ]
+    assert mismatched == [], f"bundles diverged for jobs {mismatched}"
+    assert report.byte_identical
+
+
+@pytest.mark.slow
+def test_chaos_smoke(tmp_path):
+    config = ChaosConfig(
+        jobs=24,
+        batches=4,
+        kills=1,
+        net_drops=1,
+        net_stalls=0,
+        verify_reference=False,
+    )
+    report = run_chaos(config, str(tmp_path), auth_token="chaos-smoke-token")
+    _assert_contract(report, config)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_CHAOS_SOAK"),
+    reason="acceptance-sized soak (~1 min); set REPRO_CHAOS_SOAK=1 to run",
+)
+@pytest.mark.timeout(300)
+def test_chaos_soak_acceptance(tmp_path):
+    config = ChaosConfig()  # 200 jobs, 3 kills, 2 drops, 1 stall
+    assert config.jobs >= 200 and config.kills >= 3
+    assert config.net_drops + config.net_stalls >= 2
+    report = run_chaos(config, str(tmp_path), auth_token="chaos-soak-token")
+    _assert_contract(report, config)
+    assert report.reference_verified is True
+    assert report.net_faults_fired == config.net_drops + config.net_stalls

@@ -376,3 +376,51 @@ class TestRemoteService:
         svc = make_service(tmp_path, "remote")  # env fleet accepted
         assert svc._remote is not None
         svc.close()
+
+
+class TestAuthenticatedRemoteService:
+    """The full serving path with ``REPRO_FLEET_TOKEN`` set fleet-wide —
+    every session (dispatch, key distribution, heartbeats, teardown)
+    runs over the HMAC handshake, and behavior is otherwise identical
+    to the unauthenticated fleet.  CI's remote job exports the token, so
+    the rest of this module runs authenticated there too."""
+
+    def test_batch_serves_verified_over_authenticated_sessions(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(remote.TOKEN_ENV, "remote-suite-token")
+        addrs, procs = launch_loopback_workers(2)
+        svc = make_service(tmp_path, "remote", remote_workers=addrs)
+        try:
+            ids = submit_jobs(svc, n=6)
+            report = svc.run(verify=True)
+            assert report.verified is True
+            assert sorted(r.job_id for r in report.results) == sorted(ids)
+            assert all(p == "remote" for p in report.placements.values())
+            assert not report.fallbacks
+
+            # Second batch over the SAME service: the pool must reuse the
+            # authenticated sockets rather than re-dialing per dispatch.
+            submit_jobs(svc, n=6, seed=50)
+            report = svc.run(verify=True)
+            assert report.verified is True
+            stats = svc._remote.transport_stats()
+            assert stats["connects"] <= len(addrs)
+            assert stats["reuses"] >= 1
+            assert stats["dispatches"] > stats["connects"]
+        finally:
+            svc.close()
+            stop_workers(procs)
+
+    def test_wrong_token_client_is_rejected_typed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(remote.TOKEN_ENV, "remote-suite-token")
+        addrs, procs = launch_loopback_workers(1)
+        try:
+            with pytest.raises(remote.FleetAuthError) as excinfo:
+                remote.open_connection(
+                    parse_worker_addr(addrs[0]), 2.0, b"wrong-token"
+                )
+            assert excinfo.value.kind == "auth-failed"
+            assert excinfo.value.retryable is False
+        finally:
+            stop_workers(procs)

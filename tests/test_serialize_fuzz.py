@@ -6,8 +6,9 @@ blob must either fail to parse with a clean ``ValueError``
 ``False`` — never an unhandled exception, never a hang, never a forged
 ``True``.  These tests drive that contract with deterministic seeded
 mutations (bit flips, truncations, extensions, zeroed slices) over VK /
-PK / keypair / bundle / verifier-artifact / job-envelope bytes, guarding
-the shape-header and Hyrax-header DoS checks in ``repro.serialize``.
+PK / keypair / bundle / verifier-artifact / job-envelope / handshake
+bytes, guarding the shape-header and Hyrax-header DoS checks in
+``repro.serialize``.
 """
 
 import random
@@ -321,6 +322,81 @@ class TestRemotePayloadFuzz:
                 assert offset is not None and 0 <= offset <= cut
                 seen_offsets.add(offset)
         assert seen_offsets
+
+
+class TestHandshakeFrameFuzz:
+    """The HELLO / CHALLENGE / AUTH(_OK) payload codecs guard the
+    authentication boundary: they parse attacker-reachable bytes *before*
+    any trust is established, so every truncation or mutation must end in
+    a typed ``SerializationError`` with an input offset — never a hang,
+    never a partial parse that lets a short MAC through."""
+
+    NONCE = bytes(range(serialize.AUTH_NONCE_BYTES))
+    MAC = bytes(range(serialize.AUTH_MAC_BYTES))
+
+    CODECS = {
+        "hello": (
+            serialize.auth_hello_to_bytes(NONCE),
+            serialize.auth_hello_from_bytes,
+        ),
+        "challenge": (
+            serialize.auth_challenge_to_bytes(NONCE),
+            serialize.auth_challenge_from_bytes,
+        ),
+        "mac": (
+            serialize.auth_mac_to_bytes(MAC),
+            serialize.auth_mac_from_bytes,
+        ),
+    }
+
+    def test_roundtrips(self):
+        version, nonce = serialize.auth_hello_from_bytes(
+            self.CODECS["hello"][0]
+        )
+        assert version == serialize.AUTH_PROTOCOL_VERSION
+        assert nonce == self.NONCE
+        assert (
+            serialize.auth_challenge_from_bytes(self.CODECS["challenge"][0])
+            == self.NONCE
+        )
+        assert serialize.auth_mac_from_bytes(self.CODECS["mac"][0]) == self.MAC
+
+    @pytest.mark.parametrize("which", sorted(CODECS))
+    def test_mutants_parse_cleanly(self, which):
+        blob, parse = self.CODECS[which]
+        rng = random.Random(SEED + len(blob) + ord(which[0]))
+        rejected = 0
+        for mutant in mutants(rng, blob, 200):
+            if mutant == blob:
+                continue
+            if not assert_parse_clean(parse, mutant):
+                rejected += 1
+        # Fixed-size payloads: every length-changing mutation (2 of the 5
+        # mutation ops) must be rejected; same-length corruption of an
+        # opaque nonce/MAC parses fine (the MAC *compare* catches it).
+        assert rejected > 50
+
+    @pytest.mark.parametrize("which", sorted(CODECS))
+    def test_truncations_are_typed_with_offsets(self, which):
+        blob, parse = self.CODECS[which]
+        seen_offsets = set()
+        for cut in range(len(blob)):
+            with pytest.raises(serialize.SerializationError) as ei:
+                parse(blob[:cut])
+            offset = ei.value.offset
+            assert offset is not None and 0 <= offset <= cut
+            seen_offsets.add(offset)
+        assert seen_offsets
+
+    def test_unknown_hello_version_rejected(self):
+        blob = serialize.auth_hello_to_bytes(self.NONCE, version=2)
+        with pytest.raises(serialize.SerializationError, match="version"):
+            serialize.auth_hello_from_bytes(blob)
+
+    def test_trailing_bytes_rejected(self):
+        for which, (blob, parse) in self.CODECS.items():
+            with pytest.raises(serialize.SerializationError):
+                parse(blob + b"\x00")
 
 
 class TestFrameFuzz:
