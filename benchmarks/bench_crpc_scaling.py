@@ -6,7 +6,7 @@ Python to sweep), plus cost-model groth16 factors up to paper dims."""
 
 import pytest
 
-from repro.bench import fmt_s, format_table
+from repro.bench import emit_table, fmt_s
 from repro.bench.harness import random_matrices
 from repro.core.api import MatmulProver
 from repro.zkml.compile import matmul_cost
@@ -55,7 +55,8 @@ def test_crpc_scaling(benchmark, sweep, cost_model):
             "modelled (groth16)",
         ])
     print()
-    print(format_table(
+    print(emit_table(
+        "crpc_scaling",
         "X1: CRPC speedup over vanilla circuits (paper: 7-9x from CRPC)",
         ["shape (a,n,b)", "vanilla", "zkVC", "speedup", "source"], rows,
     ))

@@ -12,8 +12,8 @@ import pytest
 
 from repro.baselines import estimate_halo2, halo2_matmul_cost
 from repro.bench import (
+    emit_table,
     fmt_s,
-    format_table,
     model_scheme_at_scale,
     run_circuit_scheme,
 )
@@ -55,7 +55,8 @@ def test_fig3_proving_time_comparison(benchmark, measured, cost_model):
         rows.append([scheme, f"[{PAPER[0]},{PAPER[1]}]x[{PAPER[1]},{PAPER[2]}]",
                      fmt_s(res.prove_s), "modelled @ paper dims"])
     print()
-    print(format_table(
+    print(emit_table(
+        "fig3",
         "Fig. 3: matmul proving time (paper: vCNN 9s -> zkVC 0.73s, 12.5x)",
         ["scheme", "dims", "prove", "source"], rows,
     ))

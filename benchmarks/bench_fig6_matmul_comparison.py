@@ -16,9 +16,9 @@ produced by the calibrated cost model (labelled).  Reproduced shape:
 import pytest
 
 from repro.bench import (
+    emit_table,
     fmt_bytes,
     fmt_s,
-    format_table,
     model_scheme_at_scale,
     run_circuit_scheme,
     run_zkcnn,
@@ -54,10 +54,11 @@ def measurements(prover_cache, cost_model):
     return rows
 
 
-def _panel(title, rows):
+def _panel(key, title, rows):
     print()
-    print(format_table(title, ["scheme"] + [f"d={d}" for d in MEASURED_DIMS]
-                       + [f"d={d}*" for d in PAPER_DIMS], rows))
+    print(emit_table(key, title,
+                     ["scheme"] + [f"d={d}" for d in MEASURED_DIMS]
+                     + [f"d={d}*" for d in PAPER_DIMS], rows))
 
 
 def test_fig6_four_panels(benchmark, measurements, cost_model):
@@ -92,13 +93,14 @@ def test_fig6_four_panels(benchmark, measurements, cost_model):
             cells.append(fmt(getattr(modelled[(scheme, d)], attr)))
         return cells
 
-    _panel("Fig. 6a: prover time (* = modelled at paper dims, tokens=49)",
+    _panel("fig6a",
+           "Fig. 6a: prover time (* = modelled at paper dims, tokens=49)",
            [row(s, fmt_s, "prove_s") for s in ALL_SCHEMES])
-    _panel("Fig. 6b: verifier time",
+    _panel("fig6b", "Fig. 6b: verifier time",
            [row(s, fmt_s, "verify_s") for s in ALL_SCHEMES])
-    _panel("Fig. 6c: proof size",
+    _panel("fig6c", "Fig. 6c: proof size",
            [row(s, fmt_bytes, "proof_bytes") for s in ALL_SCHEMES])
-    _panel("Fig. 6d: online time",
+    _panel("fig6d", "Fig. 6d: online time",
            [row(s, fmt_s, "online_s") for s in ALL_SCHEMES])
 
     d = MEASURED_DIMS[-1]

@@ -6,7 +6,7 @@ sets per SoftMax element, per the paper)."""
 
 import math
 
-from repro.bench import format_table
+from repro.bench import emit_table
 from repro.field.prime_field import BN254_FR_MODULUS
 from repro.gadgets.nonlinear import (
     exp_gadget,
@@ -60,12 +60,14 @@ def test_nonlinear_approximations(benchmark):
     gelu_cost = len(cs3.constraints)
 
     print()
-    print(format_table(
+    print(emit_table(
+        "nonlinear_exp",
         "X3a: exp(x) ~ (1 + x/2^n)^(2^n) on negative inputs",
         ["x", "abs error", "constraints"], exp_rows,
     ))
     print()
-    print(format_table(
+    print(emit_table(
+        "nonlinear_summary",
         "X3b: gadget summary",
         ["gadget", "max error", "constraints"],
         [

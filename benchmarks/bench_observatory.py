@@ -1,0 +1,106 @@
+"""One command for every paper table: run the declarative scan suite,
+append records to the run store, and regenerate the tables *from the
+store*.
+
+    PYTHONPATH=src python benchmarks/bench_observatory.py --suite paper
+
+Useful variants:
+
+    --scans table1,psq       run/render a subset of the suite's scans
+    --render-only            skip measurement; re-render from stored runs
+    --full                   paper-fidelity training budgets (slower)
+    --store PATH             run-store root (default benchmarks/runs)
+    --tables-dir PATH        also write each rendered table to a file
+    --json PATH              machine-readable dump of every table
+                             (repro.bench.report schema)
+
+Every executed scan point becomes one schema-versioned record under the
+store; ``python -m repro.bench.observatory list|show|frontier`` browses
+the accumulated history without re-running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.bench import report  # noqa: E402
+from repro.bench.observatory import (  # noqa: E402
+    ResultStore,
+    SUITES,
+    SuiteOptions,
+)
+
+DEFAULT_STORE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "runs")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--suite", default="paper", choices=sorted(SUITES))
+    ap.add_argument("--scans", default=None,
+                    help="comma-separated subset of the suite's scans")
+    ap.add_argument("--full", action="store_true",
+                    help="paper-fidelity training budgets for the "
+                         "accuracy scans")
+    ap.add_argument("--render-only", action="store_true",
+                    help="no measurement: render tables from stored runs")
+    ap.add_argument("--store", default=os.environ.get("REPRO_RUN_STORE",
+                                                      DEFAULT_STORE))
+    ap.add_argument("--tables-dir", default=None,
+                    help="write each rendered table to <dir>/<scan>.txt")
+    ap.add_argument("--json", default=report.env_json_path(),
+                    help="write all rendered tables to one JSON document")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    suite = SUITES[args.suite]
+    scans = args.scans.split(",") if args.scans else None
+    store = ResultStore(args.store)
+    say = (lambda *a: None) if args.quiet else print
+
+    if not args.render_only:
+        outcomes = suite.run(
+            store, scans=scans, options=SuiteOptions(full=args.full),
+            progress=lambda msg: say(f"  .. {msg}"),
+        )
+        ran = sum(len(o.records) for o in outcomes.values())
+        skipped = sum(len(o.skipped) for o in outcomes.values())
+        say(f"ran {ran} scan points across {len(outcomes)} scans "
+            f"({skipped} skipped) -> {store.root}")
+        for name, outcome in outcomes.items():
+            for params, reason in outcome.skipped:
+                say(f"  skipped {name} {params}: {reason}")
+
+    rendered = suite.render(store, scans=scans)
+    for name, text in rendered:
+        say("")
+        say(text)
+
+    if args.tables_dir:
+        os.makedirs(args.tables_dir, exist_ok=True)
+        for name, text in rendered:
+            path = os.path.join(args.tables_dir, f"{name}.txt")
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+        say(f"\nwrote {len(rendered)} tables to {args.tables_dir}")
+
+    if args.json:
+        report.write_json(args.json)
+        say(f"wrote machine-readable tables to {args.json}")
+
+    # Surface the cached cross-history summary so a suite run ends with
+    # the store's state, not just this pass.
+    summary = store.summary()
+    say(f"\nstore summary: {summary['record_count']} records, "
+        f"suites {summary['suites']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

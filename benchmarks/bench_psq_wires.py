@@ -2,7 +2,7 @@
 R1CS computation by ~70% standalone, variables O(n^3) -> O(n^2), and the
 Fig. 5 example (6 -> 3 left wires)."""
 
-from repro.bench import format_table
+from repro.bench import emit_table
 from repro.core.psq import left_wire_report, psq_reduction_factor
 from repro.gadgets.matmul import MatmulCircuit
 
@@ -25,7 +25,8 @@ def test_psq_left_wire_accounting(benchmark):
         for r in reports.values()
     ]
     print()
-    print(format_table(
+    print(emit_table(
+        "psq",
         f"X2: left-wire accounting at {shape} "
         "(paper Fig. 5: 6 -> 3 wires per dot product)",
         ["strategy", "constraints", "wires", "A-side wires", "A-side terms"],

@@ -1,13 +1,13 @@
 """Table I — qualitative comparison of zkVC with prior verifiable-DNN
 schemes.  Regenerated from scheme metadata."""
 
-from repro.bench import TABLE1_HEADERS, format_table, table1_rows
+from repro.bench import TABLE1_HEADERS, emit_table, table1_rows
 
 
 def test_table1_feature_matrix(benchmark):
     rows = benchmark(table1_rows)
     print()
-    print(format_table("Table I: scheme feature comparison",
-                       TABLE1_HEADERS, rows))
+    print(emit_table("table1", "Table I: scheme feature comparison",
+                     TABLE1_HEADERS, rows))
     zkvc = rows[-1]
     assert all(cell == "yes" for cell in zkvc[1:])

@@ -14,7 +14,7 @@ adds a further ~25-30% on groth16 but little on Spartan.
 
 import pytest
 
-from repro.bench import fmt_s, format_table, run_circuit_scheme
+from repro.bench import emit_table, fmt_s, run_circuit_scheme
 from repro.core.api import MatmulProver
 from repro.bench.harness import random_matrices
 
@@ -59,7 +59,8 @@ def test_table2_crpc_psq_ablation(benchmark, ablation):
             fmt_s(s.timings["prove"]), fmt_s(s.timings["verify"]),
         ])
     print()
-    print(format_table(
+    print(emit_table(
+        "table2",
         f"Table II: ablation at scaled dims [{a},{n}]x[{n},{b}] "
         "(paper: 9.12 -> 0.73 groth16, 9.04 -> 1.75 spartan)",
         ["CRPC", "PSQ", "G-prove", "G-verify", "S-prove", "S-verify"],

@@ -12,7 +12,7 @@ scaling > pooling; proving cost softmax > scaling > zkVC > pooling."""
 import numpy as np
 import pytest
 
-from repro.bench import fmt_s, format_table
+from repro.bench import emit_table, fmt_s
 from repro.nn import (
     VisionTransformer,
     make_vision_dataset,
@@ -92,7 +92,8 @@ def test_table3_vision_mixers(benchmark, accuracies, cost_model):
                 fmt_s(pg) + "*", fmt_s(ps) + "*",
             ])
     print()
-    print(format_table(
+    print(emit_table(
+        "table3",
         "Table III: vision mixers (accuracy on synthetic stand-ins; "
         "* = modelled proving time at paper architecture)",
         ["dataset", "variant", "top-1", "P_G", "P_S"], rows,

@@ -12,7 +12,7 @@ vision-table accuracy ordering carry the reproduction."""
 import numpy as np
 import pytest
 
-from repro.bench import fmt_s, format_table
+from repro.bench import emit_table, fmt_s
 from repro.nn import make_nlp_task, train_model, uniform_plan
 from repro.nn.train import evaluate
 from repro.nn.transformer import TextTransformer, bert_small_config
@@ -74,7 +74,8 @@ def test_table4_nlp_mixers(benchmark, accuracies, cost_model):
         accs = [f"{accuracies[(t, variant)]:.3f}" for t in TASKS]
         rows.append([variant] + accs + [fmt_s(pg) + "*", fmt_s(ps) + "*"])
     print()
-    print(format_table(
+    print(emit_table(
+        "table4",
         "Table IV: NLP mixers on GLUE-like synthetic tasks "
         "(* = modelled at BERT-small scale)",
         ["variant"] + [t.upper() for t in TASKS] + ["P_G", "P_S"], rows,

@@ -8,9 +8,19 @@ Exits nonzero if any fast-path metric regressed by more than the threshold
     PYTHONPATH=src python -m pytest -x -q
     python benchmarks/check_regression.py
 
+With ``--history`` the gate becomes trend-aware: the fresh pass is
+machine-normalized (divided by the overall machine factor vs the
+committed snapshot) and compared against the *median of the last N runs*
+stored in the observatory run store (``benchmarks/runs/`` by default),
+then appended to the store as one more history record.  Until the store
+holds enough runs (two per metric) the snapshot gate still applies; from
+then on one noisy committed snapshot can no longer define the baseline —
+the trend does.  See PERF.md "Observatory".
+
 Environment:
     BENCH_BASELINE     override the baseline path
     BENCH_THRESHOLD    override the allowed fractional regression (0.25)
+    REPRO_RUN_STORE    override the --history run-store root
 """
 
 from __future__ import annotations
@@ -59,6 +69,11 @@ _GATED_METRICS = (
 # connection-per-dispatch multiplies dials-per-proof several-fold, far
 # past any plausible scheduling noise.
 _GATED_INVERSE = ("remote_connects_per_proof",)
+
+# The pool metrics (process workers, loopback remote fleet) scale with
+# core count; comparing across differently-cored hosts prices the
+# hardware, not the code.
+_CORE_SCALED = ("process_ops_per_sec", "remote_ops_per_sec")
 
 
 def _paired_inverse_metrics(baseline: dict, fresh: dict):
@@ -125,6 +140,54 @@ def compare(baseline: dict, fresh: dict, threshold: float, factor: float = 1.0):
             yield section, size, metric, expected, new, new / expected
 
 
+def history_check(
+    store_root: str,
+    fresh: dict,
+    factor: float,
+    threshold: float,
+    window=None,
+):
+    """Gate ``fresh`` against the stored trend, then append it as one
+    more history record.
+
+    Gating happens *before* the append so a run is never compared
+    against itself; the append happens even when the run regressed so
+    the store reflects reality (the median keeps one bad run from
+    shifting the trend).  Core-count-scaled metrics drop out of the
+    gated set whenever the trend window mixes hosts with different core
+    counts.  Returns ``(regressions, checked, record, n_history)``.
+    """
+    from repro.bench.observatory import (
+        DEFAULT_WINDOW,
+        HISTORY_SCAN,
+        HISTORY_SUITE,
+        ResultStore,
+        append_history,
+        history_gate,
+    )
+
+    store = ResultStore(store_root)
+    window = window or DEFAULT_WINDOW
+    gated = set(_GATED_METRICS) | set(_GATED_INVERSE)
+    fresh_cpu = fresh.get("meta", {}).get("cpu_count")
+    hist = store.records(suite=HISTORY_SUITE, scan=HISTORY_SCAN)[-window:]
+    mixed_cores = any(
+        r.meta.get("bench_meta", {}).get("cpu_count") not in (None, fresh_cpu)
+        for r in hist
+    )
+    if mixed_cores:
+        gated -= set(_CORE_SCALED)
+        print(
+            "history: trend window mixes hosts with different core "
+            f"counts; not gating {', '.join(_CORE_SCALED)}"
+        )
+    regressions, checked = history_gate(
+        store, fresh, factor, gated, threshold=threshold, window=window
+    )
+    record = append_history(store, fresh, factor)
+    return regressions, checked, record, len(hist)
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -145,6 +208,23 @@ def main(argv=None) -> int:
         "--service", action="store_true",
         help="also re-time the proving-service batch throughput "
              "(bench_service.py) and gate its baseline entries",
+    )
+    ap.add_argument(
+        "--history", action="store_true",
+        help="gate against the median of the last N stored runs and "
+             "append this pass to the observatory run store",
+    )
+    ap.add_argument(
+        "--store",
+        default=os.environ.get(
+            "REPRO_RUN_STORE",
+            os.path.join(os.path.dirname(os.path.abspath(__file__)), "runs"),
+        ),
+        help="run-store root for --history",
+    )
+    ap.add_argument(
+        "--window", type=int, default=None,
+        help="--history trend window (default: observatory DEFAULT_WINDOW)",
     )
     args = ap.parse_args(argv)
 
@@ -178,6 +258,37 @@ def main(argv=None) -> int:
             f"note: this machine runs {factor:.2f}x the baseline overall; "
             "gating relative to that factor (re-baseline if hardware changed)"
         )
+    if args.history:
+        h_regs, h_checked, record, n_hist = history_check(
+            args.store, fresh, factor, args.threshold, args.window
+        )
+        print(
+            "history: appended normalized run record "
+            f"{os.path.basename(record.path)} to {args.store}"
+        )
+        if h_checked:
+            if h_regs:
+                print(
+                    f"PERF REGRESSION vs history median "
+                    f"({len(h_regs)} of {h_checked} metrics, "
+                    f"last {n_hist} runs):"
+                )
+                for name, mid, got, ratio in h_regs:
+                    print(
+                        f"  {name}: median {mid:,.3f}, got {got:,.3f} "
+                        f"({ratio:.2f}x, machine-normalized)"
+                    )
+                return 1
+            print(
+                f"perf OK vs history: {h_checked} metrics within "
+                f"{args.threshold:.0%} of the median of the last "
+                f"{n_hist} stored runs (machine factor {factor:.2f}x)"
+            )
+            return 0
+        print(
+            "history: not enough stored runs to gate on trend yet; "
+            "falling back to the committed-snapshot gate"
+        )
     regressions = list(compare(baseline, fresh, args.threshold, factor))
     checked = len(list(_paired_metrics(baseline, fresh)))
     # Inverse (lower-is-better) counters: regression = the count *grew*
@@ -192,11 +303,8 @@ def main(argv=None) -> int:
             inverse_regressions.append(
                 (section, size, metric, old, new, new / old)
             )
-    # The pool metrics (process workers, loopback remote fleet) scale with
-    # core count; comparing a baseline committed on an m-core host against
-    # an n-core runner prices the hardware, not the code.  Warn instead of
-    # failing in that case.
-    _CORE_SCALED = ("process_ops_per_sec", "remote_ops_per_sec")
+    # Warn instead of failing on core-scaled metrics across differing
+    # core counts (see _CORE_SCALED).
     base_cpu = baseline.get("meta", {}).get("cpu_count")
     fresh_cpu = fresh.get("meta", {}).get("cpu_count")
     if base_cpu is not None and fresh_cpu is not None and base_cpu != fresh_cpu:

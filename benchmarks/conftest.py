@@ -2,12 +2,33 @@
 
 Every benchmark prints the table/figure rows it reproduces (run with
 ``pytest benchmarks/ --benchmark-only -s`` to see them) and registers one
-timed kernel with pytest-benchmark.
+timed kernel with pytest-benchmark.  Tables route through
+``repro.bench.report.emit_table``, so ``--json <path>`` (or
+``REPRO_BENCH_JSON``) additionally writes every table the session
+produced as one machine-readable JSON document.
 """
 
 import pytest
 
+from repro.bench import report
 from repro.zkml.costmodel import CostModel
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        help="write all emitted bench tables to this JSON path at "
+             "session end (fallback: REPRO_BENCH_JSON)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json") or report.env_json_path()
+    if path and report.collected():
+        out = report.write_json(path)
+        print(f"\nwrote {len(report.collected())} bench tables to {out}")
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,7 @@ from .harness import (
     run_zkcnn,
     run_zkml_modelled,
 )
+from .report import collected, emit_table, env_json_path, reset, write_json
 from .tables import TABLE1_HEADERS, TABLE1_SCHEMES, table1_rows
 
 __all__ = [
@@ -19,9 +20,14 @@ __all__ = [
     "SchemeResult",
     "TABLE1_HEADERS",
     "TABLE1_SCHEMES",
+    "collected",
+    "emit_table",
+    "env_json_path",
     "fmt_bytes",
     "fmt_s",
     "format_table",
+    "reset",
+    "write_json",
     "model_scheme_at_scale",
     "random_matrices",
     "run_circuit_scheme",

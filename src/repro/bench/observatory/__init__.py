@@ -1,0 +1,60 @@
+"""Scenario-scan observatory: declarative benchmark scans, an on-disk
+run store with cached summaries, and history-aware regression gating.
+
+See PERF.md "Observatory" for the store layout and gate semantics, and
+DESIGN.md for how to add a scan dimension.
+"""
+
+from .history import (
+    DEFAULT_WINDOW,
+    HISTORY_SCAN,
+    HISTORY_SUITE,
+    MIN_RUNS,
+    append_history,
+    flatten,
+    history_gate,
+    history_series,
+    is_inverse,
+    normalize,
+)
+from .scan import Dimension, ScanOutcome, ScanSpec
+from .store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    RunRecord,
+    SchemaVersionError,
+    default_root,
+    host_meta,
+    load_record,
+    point_key,
+)
+from .suites import PAPER_SUITE, SUITES, Suite, SuiteOptions, TableTarget
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "Dimension",
+    "HISTORY_SCAN",
+    "HISTORY_SUITE",
+    "MIN_RUNS",
+    "PAPER_SUITE",
+    "ResultStore",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "ScanOutcome",
+    "ScanSpec",
+    "SchemaVersionError",
+    "Suite",
+    "SuiteOptions",
+    "TableTarget",
+    "append_history",
+    "default_root",
+    "flatten",
+    "history_gate",
+    "history_series",
+    "host_meta",
+    "is_inverse",
+    "load_record",
+    "normalize",
+    "point_key",
+]

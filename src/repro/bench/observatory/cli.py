@@ -1,0 +1,144 @@
+"""Query CLI over the run store.
+
+    python -m repro.bench.observatory list             # what the store holds
+    python -m repro.bench.observatory show fig3        # re-render one table
+    python -m repro.bench.observatory frontier         # history frontier
+
+``--store`` (or ``REPRO_RUN_STORE``) points at a store root; the default
+is ``benchmarks/runs`` under the current directory.  Rendering reads
+stored records only — no prover runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+from ..harness import format_table
+from .history import HISTORY_SCAN, HISTORY_SUITE
+from .store import ResultStore
+from .suites import PAPER_SUITE_NAME, SUITES
+
+
+def _fmt_when(ts: float) -> str:
+    if not ts:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M", time.localtime(ts))
+
+
+def cmd_list(store: ResultStore, args) -> int:
+    records = store.records()
+    if not records:
+        print(f"run store at {store.root} is empty")
+        return 0
+    groups = {}
+    for rec in records:
+        key = (rec.suite, rec.scan)
+        entry = groups.setdefault(
+            key, {"runs": 0, "points": set(), "first": rec.created,
+                  "last": rec.created}
+        )
+        entry["runs"] += 1
+        entry["points"].add(rec.key())
+        entry["first"] = min(entry["first"], rec.created)
+        entry["last"] = max(entry["last"], rec.created)
+    rows = [
+        [suite, scan, str(e["runs"]), str(len(e["points"])),
+         _fmt_when(e["first"]), _fmt_when(e["last"])]
+        for (suite, scan), e in sorted(groups.items())
+    ]
+    print(format_table(
+        f"run store: {store.root} ({len(records)} records)",
+        ["suite", "scan", "records", "points", "first", "last"], rows,
+    ))
+    if store.skipped:
+        print(f"\nskipped {len(store.skipped)} unreadable records:")
+        for line in store.skipped:
+            print(f"  {line}")
+    return 0
+
+
+def cmd_show(store: ResultStore, args) -> int:
+    suite = SUITES.get(args.suite)
+    if suite is not None and args.scan in suite.target_names():
+        for _, text in suite.render(store, scans=[args.scan]):
+            print(text)
+            print()
+        return 0
+    # Not a known paper table: dump the raw latest record per point.
+    latest = store.latest(args.suite, args.scan)
+    if not latest:
+        print(f"no records for suite={args.suite!r} scan={args.scan!r} "
+              f"in {store.root}")
+        return 1
+    for key, rec in sorted(latest.items()):
+        print(f"{key}  ({_fmt_when(rec.created)}, "
+              f"git {rec.meta.get('git_rev') or '?'})")
+        for metric, value in sorted(rec.metrics.items()):
+            print(f"  {metric} = {value}")
+    return 0
+
+
+def cmd_frontier(store: ResultStore, args) -> int:
+    """Cross-history view: per point/metric, how the latest run sits
+    against the stored median and best."""
+    summary = store.summary()
+    aggregates = summary.get("aggregates", {})
+    prefix = f"{args.suite}/"
+    rows: List[List[str]] = []
+    for key in sorted(aggregates):
+        if not key.startswith(prefix):
+            continue
+        agg = aggregates[key]
+        if args.metric and not key.endswith(f"/{args.metric}"):
+            continue
+        _, scan, point, metric = key.split("/", 3)
+        trend = agg["last"] / agg["median"] if agg["median"] else float("nan")
+        rows.append([
+            scan, point or "-", metric, str(agg["count"]),
+            f"{agg['median']:.4g}", f"{agg['best']:.4g}",
+            f"{agg['last']:.4g}", f"{trend:.2f}x",
+        ])
+    if not rows:
+        print(f"no aggregates for suite {args.suite!r} in {store.root}")
+        return 1
+    print(format_table(
+        f"frontier: suite {args.suite} over {summary['record_count']} "
+        "stored records (trend = last/median)",
+        ["scan", "point", "metric", "runs", "median", "best", "last",
+         "trend"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench.observatory", description=__doc__,
+    )
+    ap.add_argument("--store", default=None,
+                    help="run-store root (default benchmarks/runs, "
+                         "or REPRO_RUN_STORE)")
+    sub = ap.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="summarize the records in the store")
+    show = sub.add_parser("show", help="render one table from the store")
+    show.add_argument("scan", help="scan name (e.g. fig3, table2)")
+    show.add_argument("--suite", default=PAPER_SUITE_NAME)
+    frontier = sub.add_parser(
+        "frontier", help="history frontier (median/best/last per metric)"
+    )
+    frontier.add_argument("--suite", default=HISTORY_SUITE)
+    frontier.add_argument("--metric", default=None,
+                          help="only this metric name")
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = ResultStore(args.store)
+    if args.command == "list":
+        return cmd_list(store, args)
+    if args.command == "show":
+        return cmd_show(store, args)
+    return cmd_frontier(store, args)

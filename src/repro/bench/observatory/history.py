@@ -1,0 +1,142 @@
+"""History-aware regression gating over the run store.
+
+``check_regression.py --history`` appends each fresh hot-path pass as
+one flattened, machine-normalized record (suite ``hotpaths``, scan
+``regression``) and gates against the *median of the last N* stored
+runs instead of the single committed ``BENCH_prover.json`` snapshot.
+
+Normalisation: every throughput metric is divided by the run's overall
+machine factor (median new/old ratio vs the committed baseline — see
+``check_regression.machine_factor``) before it is stored, so records
+written on differently-fast hosts land in one comparable series.
+Lower-is-better counters (``*_per_proof``) are hardware-independent
+counts and are stored raw.  The raw factor is kept in the record's meta
+so a reader can always undo the normalisation.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .store import ResultStore, RunRecord
+
+HISTORY_SUITE = "hotpaths"
+HISTORY_SCAN = "regression"
+# Gate only once this many historical runs exist; below that the caller
+# should fall back to (or also run) the snapshot gate.
+MIN_RUNS = 2
+DEFAULT_WINDOW = 5
+
+# Metric name suffixes that are lower-is-better counters (never
+# machine-normalized; regression = the value *grew*).
+_INVERSE_SUFFIXES = ("_per_proof",)
+
+
+def is_inverse(metric: str) -> bool:
+    return metric.endswith(_INVERSE_SUFFIXES)
+
+
+def flatten(fresh: Dict[str, object]) -> Dict[str, float]:
+    """``{section: {size: {metric: v}}}`` -> ``{"section.size.metric": v}``
+    for every numeric metric (``meta`` is not a measurement section)."""
+    out: Dict[str, float] = {}
+    for section, sizes in fresh.items():
+        if section == "meta" or not isinstance(sizes, dict):
+            continue
+        for size, entry in sizes.items():
+            if not isinstance(entry, dict):
+                continue
+            for metric, value in entry.items():
+                if isinstance(value, (int, float)):
+                    out[f"{section}.{size}.{metric}"] = float(value)
+    return out
+
+
+def normalize(flat: Dict[str, float], factor: float) -> Dict[str, float]:
+    """Divide throughput metrics by the machine factor; counters pass
+    through raw."""
+    if factor <= 0:
+        raise ValueError(f"machine factor must be positive, got {factor}")
+    return {
+        metric: value if is_inverse(metric) else value / factor
+        for metric, value in flat.items()
+    }
+
+
+def append_history(
+    store: ResultStore,
+    fresh: Dict[str, object],
+    factor: float,
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> RunRecord:
+    """Persist one normalized history record for a fresh benchmark pass."""
+    meta: Dict[str, object] = {
+        "machine_factor": factor,
+        "bench_meta": fresh.get("meta", {}),
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    flat = normalize(flatten(fresh), factor)
+    return store.append(HISTORY_SUITE, HISTORY_SCAN, {}, flat, meta=meta)
+
+
+def history_series(
+    store: ResultStore, window: int = DEFAULT_WINDOW
+) -> Dict[str, List[float]]:
+    """Per-metric normalized values of the last ``window`` stored runs
+    (chronological)."""
+    records = store.records(suite=HISTORY_SUITE, scan=HISTORY_SCAN)
+    if window > 0:
+        records = records[-window:]
+    series: Dict[str, List[float]] = {}
+    for rec in records:
+        for metric, value in rec.metrics.items():
+            if isinstance(value, (int, float)):
+                series.setdefault(metric, []).append(float(value))
+    return series
+
+
+def history_gate(
+    store: ResultStore,
+    fresh: Dict[str, object],
+    factor: float,
+    gated_metrics: Iterable[str],
+    threshold: float = 0.25,
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = MIN_RUNS,
+) -> Tuple[List[Tuple[str, float, float, float]], int]:
+    """Gate a fresh pass against the stored trend.
+
+    ``gated_metrics`` are bare metric names (e.g. ``fast_ops_per_sec``);
+    every flattened ``section.size.metric`` whose metric part matches is
+    checked when at least ``min_runs`` historical values exist.  Returns
+    ``(regressions, checked)`` where each regression is
+    ``(flat_name, expected_median, got, ratio)``.  Throughput metrics
+    regress by falling more than ``threshold`` below the median of the
+    last ``window`` normalized runs; inverse counters by growing past it
+    (plus a small absolute slack, mirroring the snapshot gate).
+    """
+    gated = set(gated_metrics)
+    series = history_series(store, window=window)
+    flat = normalize(flatten(fresh), factor)
+    regressions: List[Tuple[str, float, float, float]] = []
+    checked = 0
+    for name, value in sorted(flat.items()):
+        metric = name.rsplit(".", 1)[-1]
+        if metric not in gated:
+            continue
+        past = series.get(name, [])
+        if len(past) < min_runs:
+            continue
+        mid = median(past)
+        if mid <= 0:
+            continue
+        checked += 1
+        if is_inverse(metric):
+            if value > mid * (1.0 + threshold) + 0.02:
+                regressions.append((name, mid, value, value / mid))
+        else:
+            if value < mid * (1.0 - threshold):
+                regressions.append((name, mid, value, value / mid))
+    return regressions, checked

@@ -1,0 +1,142 @@
+"""Declarative parameter scans over benchmark cross-products.
+
+A :class:`ScanSpec` names its axes (:class:`Dimension`) and a runner;
+the harness expands the deterministic cross-product (row-major in the
+declared dimension order, values in declared order — the same spec
+always visits the same points in the same order), filters through a skip
+predicate, brackets the sweep and each point with setup/cleanup hooks,
+and appends one :class:`~repro.bench.observatory.store.RunRecord` per
+executed point.
+
+The shape follows the queue-drain parameter-scan pattern (dax
+``base/scan.py``): scans are data, execution is one generic loop, so a
+new benchmark is a spec — not another hand-rolled script.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .store import ResultStore, RunRecord
+
+Params = Dict[str, object]
+# runner(params, context) -> metrics dict (numeric values) or None to
+# record nothing for the point.
+Runner = Callable[[Params, Dict[str, object]], Optional[Dict[str, float]]]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One scan axis: a name and its ordered values."""
+
+    name: str
+    values: Tuple[object, ...]
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError(f"dimension {self.name!r} has no values")
+
+
+@dataclass
+class ScanOutcome:
+    """What one sweep did: executed records plus skipped points."""
+
+    records: List[RunRecord] = field(default_factory=list)
+    skipped: List[Tuple[Params, str]] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+
+class ScanSpec:
+    """A named scan: dimensions × runner (+ hooks and skip predicate).
+
+    ``setup(context)`` runs once before the first point and may populate
+    ``context`` (shared mutable dict — prover caches, datasets, cost
+    models); ``cleanup(context)`` always runs afterwards, even on error.
+    ``point_setup(params, context)`` / ``point_cleanup(params, context)``
+    bracket every executed point.  ``skip(params)`` returns a reason
+    string (or True) to drop a point from the sweep; skipped points never
+    touch the hooks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: Sequence[Dimension],
+        runner: Runner,
+        *,
+        setup: Optional[Callable[[Dict[str, object]], None]] = None,
+        cleanup: Optional[Callable[[Dict[str, object]], None]] = None,
+        point_setup: Optional[Callable[[Params, Dict[str, object]], None]] = None,
+        point_cleanup: Optional[Callable[[Params, Dict[str, object]], None]] = None,
+        skip: Optional[Callable[[Params], object]] = None,
+    ):
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names in scan {name!r}")
+        self.name = name
+        self.dimensions = tuple(dimensions)
+        self.runner = runner
+        self.setup = setup
+        self.cleanup = cleanup
+        self.point_setup = point_setup
+        self.point_cleanup = point_cleanup
+        self.skip = skip
+
+    def points(self) -> Iterator[Params]:
+        """The full cross-product in deterministic row-major order
+        (including points the skip predicate will drop)."""
+        names = [d.name for d in self.dimensions]
+        for combo in itertools.product(*(d.values for d in self.dimensions)):
+            yield dict(zip(names, combo))
+
+    def run(
+        self,
+        store: Optional[ResultStore] = None,
+        suite: str = "adhoc",
+        context: Optional[Dict[str, object]] = None,
+        meta: Optional[Dict[str, object]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> ScanOutcome:
+        """Execute the sweep, appending one record per executed point."""
+        outcome = ScanOutcome()
+        ctx: Dict[str, object] = context if context is not None else {}
+        t_start = time.perf_counter()
+        if self.setup is not None:
+            self.setup(ctx)
+        try:
+            for params in self.points():
+                if self.skip is not None:
+                    reason = self.skip(params)
+                    if reason:
+                        outcome.skipped.append(
+                            (params,
+                             reason if isinstance(reason, str) else "skipped")
+                        )
+                        continue
+                if progress is not None:
+                    progress(f"{self.name}: {params}")
+                if self.point_setup is not None:
+                    self.point_setup(params, ctx)
+                try:
+                    metrics = self.runner(params, ctx)
+                finally:
+                    if self.point_cleanup is not None:
+                        self.point_cleanup(params, ctx)
+                if metrics is None:
+                    continue
+                if store is not None:
+                    rec = store.append(
+                        suite, self.name, params, metrics, meta=meta
+                    )
+                else:
+                    rec = RunRecord(suite=suite, scan=self.name,
+                                    point=dict(params), metrics=dict(metrics))
+                outcome.records.append(rec)
+        finally:
+            if self.cleanup is not None:
+                self.cleanup(ctx)
+        outcome.elapsed_s = time.perf_counter() - t_start
+        return outcome

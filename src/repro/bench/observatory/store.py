@@ -1,0 +1,304 @@
+"""On-disk run store for benchmark records.
+
+Every scan point that runs appends one schema-versioned JSON file under
+the store root (default ``benchmarks/runs/``).  Records are immutable
+once written — history accumulates, it is never rewritten — and the
+store keeps a cached aggregate summary (``summary-cache.json``) that is
+invalidated by fingerprint whenever new records land, so readers never
+serve stale aggregates and repeated queries don't re-read every record.
+
+Concurrency: appends are safe across processes.  Each record gets a
+process-unique filename (timestamp + pid + random suffix) and is written
+to a temp file in the store root then ``os.replace``d into place, so a
+reader can never observe a half-written record and two writers can never
+clobber each other.  The summary cache is advisory — a racing rebuild
+just rebuilds twice, both ending at the same content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import socket
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, Iterable, List, Optional
+
+SCHEMA_VERSION = 1
+
+_CACHE_NAME = "summary-cache.json"
+
+
+class SchemaVersionError(ValueError):
+    """A record (or cache) was written by an incompatible schema."""
+
+
+def _git_rev() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def host_meta() -> Dict[str, object]:
+    """Host facts recorded with every run so cross-machine history can be
+    normalised (or excluded) downstream."""
+    import platform
+
+    return {
+        "hostname": socket.gethostname(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def point_key(point: Dict[str, object]) -> str:
+    """Canonical identity of a scan point: sorted ``k=v`` pairs."""
+    return ",".join(f"{k}={point[k]}" for k in sorted(point))
+
+
+@dataclass
+class RunRecord:
+    suite: str
+    scan: str
+    point: Dict[str, object]
+    metrics: Dict[str, float]
+    meta: Dict[str, object] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+    path: Optional[str] = None  # set once persisted / loaded
+
+    @property
+    def created(self) -> float:
+        return float(self.meta.get("created", 0.0))
+
+    def key(self) -> str:
+        return point_key(self.point)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "suite": self.suite,
+            "scan": self.scan,
+            "point": self.point,
+            "metrics": self.metrics,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object], path: Optional[str] = None
+                  ) -> "RunRecord":
+        schema = doc.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise SchemaVersionError(
+                f"record schema {schema!r} != supported {SCHEMA_VERSION}"
+                + (f" ({path})" if path else "")
+            )
+        for req in ("suite", "scan", "point", "metrics"):
+            if req not in doc:
+                raise ValueError(f"record missing {req!r} field"
+                                 + (f" ({path})" if path else ""))
+        return cls(
+            suite=doc["suite"], scan=doc["scan"], point=dict(doc["point"]),
+            metrics=dict(doc["metrics"]), meta=dict(doc.get("meta", {})),
+            schema=schema, path=path,
+        )
+
+
+def load_record(path: str) -> RunRecord:
+    with open(path) as fh:
+        doc = json.load(fh)
+    return RunRecord.from_json(doc, path=path)
+
+
+def default_root() -> str:
+    """``REPRO_RUN_STORE`` env override, else ``benchmarks/runs`` under
+    the current working directory."""
+    env = os.environ.get("REPRO_RUN_STORE")
+    if env:
+        return env
+    return os.path.join(os.getcwd(), "benchmarks", "runs")
+
+
+class ResultStore:
+    """Append-only store of :class:`RunRecord` files plus a cached summary."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = os.path.abspath(root or default_root())
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- writing ----------------------------------------------------------
+
+    def append(
+        self,
+        suite: str,
+        scan: str,
+        point: Dict[str, object],
+        metrics: Dict[str, float],
+        meta: Optional[Dict[str, object]] = None,
+    ) -> RunRecord:
+        """Persist one run record atomically; returns it with ``path`` set."""
+        full_meta: Dict[str, object] = {
+            "created": time.time(),
+            "git_rev": _git_rev(),
+            "host": host_meta(),
+        }
+        if meta:
+            full_meta.update(meta)
+        rec = RunRecord(suite=suite, scan=scan, point=dict(point),
+                        metrics=dict(metrics), meta=full_meta)
+        name = (
+            f"r-{int(full_meta['created'] * 1000):015d}"
+            f"-{os.getpid()}-{secrets.token_hex(4)}.json"
+        )
+        path = os.path.join(self.root, name)
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", suffix=".json",
+                                   dir=self.root)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(rec.to_json(), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        rec.path = path
+        return rec
+
+    # -- reading ----------------------------------------------------------
+
+    def record_files(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return []
+        return sorted(
+            n for n in names if n.startswith("r-") and n.endswith(".json")
+        )
+
+    def records(
+        self,
+        suite: Optional[str] = None,
+        scan: Optional[str] = None,
+        strict: bool = False,
+    ) -> List[RunRecord]:
+        """All matching records, oldest first.  Unreadable or
+        wrong-schema files are skipped (collected in :attr:`skipped`)
+        unless ``strict``, in which case they raise."""
+        out: List[RunRecord] = []
+        self.skipped: List[str] = []
+        for name in self.record_files():
+            path = os.path.join(self.root, name)
+            try:
+                rec = load_record(path)
+            except (ValueError, OSError) as exc:
+                if strict:
+                    raise
+                self.skipped.append(f"{name}: {exc}")
+                continue
+            if suite is not None and rec.suite != suite:
+                continue
+            if scan is not None and rec.scan != scan:
+                continue
+            out.append(rec)
+        out.sort(key=lambda r: (r.created, r.path or ""))
+        return out
+
+    def latest(self, suite: str, scan: Optional[str] = None
+               ) -> Dict[str, RunRecord]:
+        """Newest record per scan point (keyed by ``scan/point_key``)."""
+        out: Dict[str, RunRecord] = {}
+        for rec in self.records(suite=suite, scan=scan):
+            out[f"{rec.scan}/{rec.key()}"] = rec  # records() is oldest-first
+        return out
+
+    def series(self, suite: str, scan: str, key: str, metric: str
+               ) -> List[float]:
+        """Chronological values of one metric at one scan point."""
+        return [
+            float(rec.metrics[metric])
+            for rec in self.records(suite=suite, scan=scan)
+            if rec.key() == key and metric in rec.metrics
+        ]
+
+    # -- cached summary ---------------------------------------------------
+
+    def _fingerprint(self) -> str:
+        import hashlib
+
+        h = hashlib.sha256()
+        for name in self.record_files():
+            h.update(name.encode())
+            h.update(b"\0")
+        return h.hexdigest()
+
+    def summary(self, rebuild: bool = False) -> Dict[str, object]:
+        """Aggregates per (suite, scan, point, metric): count / median /
+        best / last.  Served from ``summary-cache.json`` when its
+        fingerprint still matches the record listing; any append changes
+        the listing and therefore invalidates the cache."""
+        cache_path = os.path.join(self.root, _CACHE_NAME)
+        fp = self._fingerprint()
+        if not rebuild and os.path.exists(cache_path):
+            try:
+                with open(cache_path) as fh:
+                    cached = json.load(fh)
+                if (cached.get("schema") == SCHEMA_VERSION
+                        and cached.get("fingerprint") == fp):
+                    return cached
+            except (ValueError, OSError):
+                pass  # corrupt/stale cache: rebuild below
+        built = self._build_summary(fp)
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-cache-", suffix=".json",
+                                   dir=self.root)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(built, fh, indent=1, sort_keys=True)
+            os.replace(tmp, cache_path)
+        except OSError:  # pragma: no cover - cache write is best-effort
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return built
+
+    def _build_summary(self, fingerprint: str) -> Dict[str, object]:
+        series: Dict[str, List[float]] = {}
+        suites: Dict[str, int] = {}
+        for rec in self.records():
+            suites[rec.suite] = suites.get(rec.suite, 0) + 1
+            for metric, value in rec.metrics.items():
+                if not isinstance(value, (int, float)):
+                    continue
+                k = f"{rec.suite}/{rec.scan}/{rec.key()}/{metric}"
+                series.setdefault(k, []).append(float(value))
+        aggregates = {
+            k: {
+                "count": len(vals),
+                "median": median(vals),
+                "best": max(vals),
+                "min": min(vals),
+                "last": vals[-1],
+            }
+            for k, vals in series.items()
+        }
+        return {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "record_count": len(self.record_files()),
+            "suites": suites,
+            "aggregates": aggregates,
+        }

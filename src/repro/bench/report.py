@@ -1,0 +1,95 @@
+"""Machine-readable table collection shared by every bench target.
+
+The paper-table/figure benchmarks historically only *printed* formatted
+tables, so nothing downstream could consume them.  ``emit_table`` is a
+drop-in replacement for ``format_table`` that additionally records the
+table (key, title, headers, raw rows, optional metadata) in a
+process-wide collector; ``write_json`` dumps everything collected to one
+schema-versioned JSON document.
+
+Wiring:
+
+* pytest benches: ``pytest benchmarks/ --json out.json`` (option added in
+  ``benchmarks/conftest.py``) writes the collected tables at session end;
+* ``benchmarks/bench_observatory.py --json out.json`` does the same for
+  suite runs;
+* ``REPRO_BENCH_JSON=<path>`` works for either when passing a flag is
+  awkward (CI matrix entries).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from .harness import format_table
+
+JSON_SCHEMA_VERSION = 1
+
+_lock = threading.Lock()
+_tables: List[Dict[str, object]] = []
+
+
+def emit_table(
+    key: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Record a table under ``key`` and return its formatted rendering."""
+    doc = {
+        "key": key,
+        "title": title,
+        "headers": [str(h) for h in headers],
+        "rows": [[str(c) for c in row] for row in rows],
+    }
+    if meta:
+        doc["meta"] = meta
+    with _lock:
+        # Re-emitting a key replaces the previous table: a re-run bench
+        # (pytest retries, repeated suite runs in one process) must not
+        # duplicate rows in the JSON document.
+        _tables[:] = [t for t in _tables if t["key"] != key]
+        _tables.append(doc)
+    return format_table(title, [str(h) for h in headers],
+                        [[str(c) for c in row] for row in rows])
+
+
+def collected() -> List[Dict[str, object]]:
+    with _lock:
+        return [dict(t) for t in _tables]
+
+
+def reset() -> None:
+    with _lock:
+        _tables.clear()
+
+
+def write_json(path: str) -> str:
+    """Atomically write every collected table to ``path``."""
+    doc = {"schema": JSON_SCHEMA_VERSION, "tables": collected()}
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".tmp-bench-", suffix=".json",
+                               dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def env_json_path() -> Optional[str]:
+    """The ``REPRO_BENCH_JSON`` fallback destination, if set."""
+    return os.environ.get("REPRO_BENCH_JSON") or None

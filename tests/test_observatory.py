@@ -1,0 +1,411 @@
+"""Benchmark observatory: run store, declarative scans, history gate.
+
+Covers the contracts the nightly CI leans on: records round-trip through
+the store byte-for-byte, incompatible schemas are rejected rather than
+silently misread, the summary cache invalidates on every append,
+concurrent writers never clobber each other, scans visit a deterministic
+point order with correctly bracketed hooks, and the ``--history`` trend
+gate catches throughput drops / counter growth against synthetic stored
+runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.observatory import cli as obs_cli
+from repro.bench.observatory import (
+    DEFAULT_WINDOW,
+    HISTORY_SCAN,
+    HISTORY_SUITE,
+    MIN_RUNS,
+    Dimension,
+    ResultStore,
+    RunRecord,
+    ScanSpec,
+    SchemaVersionError,
+    append_history,
+    history_gate,
+    load_record,
+    point_key,
+)
+from repro.bench.observatory.suites import PAPER_SUITE
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+# -- result store ------------------------------------------------------------
+
+
+def test_store_round_trip(tmp_path):
+    store = ResultStore(str(tmp_path))
+    point = {"strategy": "crpc_psq", "backend": "groth16", "d": 16}
+    metrics = {"prove_s": 1.25, "proof_bytes": 192.0}
+    rec = store.append("paper", "table2", point, metrics)
+
+    assert rec.path is not None and os.path.exists(rec.path)
+    loaded = load_record(rec.path)
+    assert loaded.suite == "paper" and loaded.scan == "table2"
+    assert loaded.point == point
+    assert loaded.metrics == metrics
+    assert loaded.key() == point_key(point)
+    assert loaded.meta["host"]["cpu_count"] == os.cpu_count()
+    assert loaded.created > 0
+
+    (found,) = store.records(suite="paper", scan="table2")
+    assert found.metrics == metrics
+    latest = store.latest("paper", "table2")
+    assert latest[f"table2/{point_key(point)}"].metrics == metrics
+
+
+def test_store_latest_prefers_newest_and_series_is_chronological(tmp_path):
+    store = ResultStore(str(tmp_path))
+    point = {"size": 8}
+    for value in (1.0, 2.0, 3.0):
+        store.append("s", "scan", point, {"ops": value},
+                     meta={"created": value})
+    latest = store.latest("s", "scan")
+    assert latest[f"scan/{point_key(point)}"].metrics["ops"] == 3.0
+    assert store.series("s", "scan", point_key(point), "ops") == [1.0, 2.0, 3.0]
+
+
+def test_store_rejects_wrong_schema(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.append("s", "scan", {"x": 1}, {"ops": 1.0})
+    bad = tmp_path / "r-9999999999999-1-deadbeef.json"
+    bad.write_text(json.dumps({
+        "schema": 99, "suite": "s", "scan": "scan",
+        "point": {"x": 2}, "metrics": {"ops": 2.0}, "meta": {},
+    }))
+
+    with pytest.raises(SchemaVersionError):
+        load_record(str(bad))
+
+    # Tolerant read skips it (and reports it); strict read raises.
+    recs = store.records(suite="s")
+    assert len(recs) == 1 and recs[0].point == {"x": 1}
+    assert len(store.skipped) == 1 and "schema" in store.skipped[0]
+    with pytest.raises(SchemaVersionError):
+        store.records(suite="s", strict=True)
+
+
+def test_store_skips_corrupt_record(tmp_path):
+    store = ResultStore(str(tmp_path))
+    (tmp_path / "r-0000000000001-1-junk.json").write_text("{not json")
+    assert store.records() == []
+    assert len(store.skipped) == 1
+
+
+def test_summary_cache_invalidated_by_append(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.append("s", "scan", {"x": 1}, {"ops": 10.0})
+    first = store.summary()
+    assert first["record_count"] == 1
+    cache_path = tmp_path / "summary-cache.json"
+    assert cache_path.exists()
+
+    # Unchanged store: served from cache (identical fingerprint).
+    again = store.summary()
+    assert again["fingerprint"] == first["fingerprint"]
+
+    # Append invalidates the fingerprint; aggregates pick up the new run.
+    store.append("s", "scan", {"x": 1}, {"ops": 30.0})
+    rebuilt = store.summary()
+    assert rebuilt["fingerprint"] != first["fingerprint"]
+    assert rebuilt["record_count"] == 2
+    agg = rebuilt["aggregates"][f"s/scan/{point_key({'x': 1})}/ops"]
+    assert agg["count"] == 2
+    assert agg["median"] == 20.0
+    assert agg["best"] == 30.0
+
+    # A stale or corrupt cache file is rebuilt, not trusted.
+    cache_path.write_text("{broken")
+    assert store.summary()["record_count"] == 2
+
+
+def test_concurrent_appends_from_separate_processes(tmp_path):
+    script = (
+        "import sys\n"
+        "from repro.bench.observatory import ResultStore\n"
+        "store = ResultStore(sys.argv[1])\n"
+        "for i in range(8):\n"
+        "    store.append('s', 'scan', {'writer': sys.argv[2], 'i': i},\n"
+        "                 {'ops': float(i)})\n"
+    )
+    env = {**os.environ, "PYTHONPATH": SRC_DIR}
+    procs = [
+        subprocess.Popen([sys.executable, "-c", script, str(tmp_path), w],
+                         env=env)
+        for w in ("a", "b")
+    ]
+    for p in procs:
+        assert p.wait(timeout=60) == 0
+
+    store = ResultStore(str(tmp_path))
+    recs = store.records(strict=True)
+    assert len(recs) == 16
+    assert len({r.path for r in recs}) == 16
+    by_writer = {w: sorted(r.point["i"] for r in recs
+                           if r.point["writer"] == w) for w in ("a", "b")}
+    assert by_writer == {"a": list(range(8)), "b": list(range(8))}
+
+
+# -- declarative scans -------------------------------------------------------
+
+
+def test_scan_points_are_deterministic_row_major():
+    spec = ScanSpec(
+        "demo",
+        [Dimension("a", (1, 2)), Dimension("b", ("x", "y", "z"))],
+        lambda p, ctx: {},
+    )
+    pts = list(spec.points())
+    assert pts == [
+        {"a": 1, "b": "x"}, {"a": 1, "b": "y"}, {"a": 1, "b": "z"},
+        {"a": 2, "b": "x"}, {"a": 2, "b": "y"}, {"a": 2, "b": "z"},
+    ]
+    assert list(spec.points()) == pts
+
+
+def test_dimension_and_spec_validation():
+    with pytest.raises(ValueError):
+        Dimension("empty", ())
+    with pytest.raises(ValueError):
+        ScanSpec("dup", [Dimension("a", (1,)), Dimension("a", (2,))],
+                 lambda p, ctx: {})
+
+
+def test_scan_run_hooks_skip_and_store(tmp_path):
+    calls = []
+    store = ResultStore(str(tmp_path))
+    spec = ScanSpec(
+        "demo",
+        [Dimension("n", (1, 2, 3))],
+        lambda p, ctx: (calls.append(("run", p["n"])),
+                        {"out": float(p["n"] * ctx["scale"])})[1],
+        setup=lambda ctx: (ctx.__setitem__("scale", 10),
+                           calls.append(("setup", None)))[1],
+        cleanup=lambda ctx: calls.append(("cleanup", None)),
+        point_setup=lambda p, ctx: calls.append(("point_setup", p["n"])),
+        point_cleanup=lambda p, ctx: calls.append(("point_cleanup", p["n"])),
+        skip=lambda p: "even" if p["n"] % 2 == 0 else None,
+    )
+    outcome = spec.run(store, suite="s")
+
+    assert calls == [
+        ("setup", None),
+        ("point_setup", 1), ("run", 1), ("point_cleanup", 1),
+        ("point_setup", 3), ("run", 3), ("point_cleanup", 3),
+        ("cleanup", None),
+    ]
+    assert [(p["n"], reason) for p, reason in outcome.skipped] == [(2, "even")]
+    assert [r.metrics["out"] for r in outcome.records] == [10.0, 30.0]
+    assert len(store.records(suite="s", scan="demo")) == 2
+    assert outcome.elapsed_s >= 0
+
+
+def test_scan_cleanup_runs_on_runner_error(tmp_path):
+    calls = []
+
+    def runner(p, ctx):
+        raise RuntimeError("boom")
+
+    spec = ScanSpec(
+        "demo", [Dimension("n", (1,))], runner,
+        cleanup=lambda ctx: calls.append("cleanup"),
+        point_cleanup=lambda p, ctx: calls.append("point_cleanup"),
+    )
+    with pytest.raises(RuntimeError):
+        spec.run(ResultStore(str(tmp_path)))
+    assert calls == ["point_cleanup", "cleanup"]
+
+
+def test_scan_runner_none_records_nothing(tmp_path):
+    store = ResultStore(str(tmp_path))
+    spec = ScanSpec("demo", [Dimension("n", (1, 2))],
+                    lambda p, ctx: None)
+    outcome = spec.run(store)
+    assert outcome.records == []
+    assert store.records() == []
+
+
+# -- history gate (check_regression --history semantics) ---------------------
+
+
+def _fresh(fast=500.0, connects=1.0):
+    """A synthetic bench_prover_hotpaths-shaped result."""
+    return {
+        "meta": {"cpu_count": 4},
+        "msm": {"256": {"fast_ops_per_sec": fast}},
+        "service": {"b4": {"remote_connects_per_proof": connects}},
+    }
+
+
+def _seed_history(store, values, factor=1.0):
+    for v in values:
+        append_history(store, _fresh(fast=v), factor)
+
+
+def test_history_append_normalizes_throughput_not_counters(tmp_path):
+    store = ResultStore(str(tmp_path))
+    rec = append_history(store, _fresh(fast=1000.0, connects=2.0), 2.0)
+    assert rec.suite == HISTORY_SUITE and rec.scan == HISTORY_SCAN
+    # Throughput halves under a 2x machine factor; counters stay raw.
+    assert rec.metrics["msm.256.fast_ops_per_sec"] == 500.0
+    assert rec.metrics["service.b4.remote_connects_per_proof"] == 2.0
+    assert rec.meta["machine_factor"] == 2.0
+    assert rec.meta["bench_meta"] == {"cpu_count": 4}
+
+
+def test_history_gate_needs_min_runs(tmp_path):
+    store = ResultStore(str(tmp_path))
+    _seed_history(store, [500.0])  # one run < MIN_RUNS
+    assert MIN_RUNS == 2
+    regressions, checked = history_gate(
+        store, _fresh(fast=100.0), 1.0, ["fast_ops_per_sec"])
+    assert checked == 0 and regressions == []
+
+
+def test_history_gate_flags_throughput_drop(tmp_path):
+    store = ResultStore(str(tmp_path))
+    _seed_history(store, [480.0, 500.0, 520.0])
+    regressions, checked = history_gate(
+        store, _fresh(fast=250.0), 1.0, ["fast_ops_per_sec"],
+        threshold=0.25)
+    assert checked == 1
+    ((name, mid, got, ratio),) = regressions
+    assert name == "msm.256.fast_ops_per_sec"
+    assert mid == 500.0 and got == 250.0 and ratio == 0.5
+
+    # Same drop but caused by a slower machine: the factor absolves it.
+    regressions, checked = history_gate(
+        store, _fresh(fast=250.0), 0.5, ["fast_ops_per_sec"],
+        threshold=0.25)
+    assert checked == 1 and regressions == []
+
+
+def test_history_gate_flags_inverse_counter_growth(tmp_path):
+    store = ResultStore(str(tmp_path))
+    _seed_history(store, [500.0, 500.0])
+    gated = ["fast_ops_per_sec", "remote_connects_per_proof"]
+    # Counter septuples (pooling regression): trips regardless of factor.
+    regressions, _ = history_gate(
+        store, _fresh(fast=500.0, connects=7.0), 1.0, gated)
+    assert [r[0] for r in regressions] == [
+        "service.b4.remote_connects_per_proof"]
+    # At the trend it passes.
+    regressions, _ = history_gate(
+        store, _fresh(fast=500.0, connects=1.0), 1.0, gated)
+    assert regressions == []
+
+
+def test_history_gate_uses_median_of_window(tmp_path):
+    store = ResultStore(str(tmp_path))
+    # One ancient great run outside the window must not set the bar.
+    _seed_history(store, [5000.0, 500.0, 500.0, 500.0, 500.0, 500.0])
+    regressions, checked = history_gate(
+        store, _fresh(fast=450.0), 1.0, ["fast_ops_per_sec"],
+        window=DEFAULT_WINDOW)
+    assert checked == 1 and regressions == []
+
+
+def test_check_regression_history_check_gates_then_appends(tmp_path):
+    """The CLI-level --history path: gate before append, append always."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    try:
+        from check_regression import history_check
+    finally:
+        sys.path.pop(0)
+
+    store = ResultStore(str(tmp_path))
+    _seed_history(store, [500.0, 500.0])
+
+    # Healthy run: nothing regresses, and the pass lands in the store.
+    regressions, checked, record, n_hist = history_check(
+        str(tmp_path), _fresh(fast=490.0), 1.0, 0.25)
+    assert checked >= 1 and regressions == [] and n_hist == 2
+    assert record.path and os.path.exists(record.path)
+    assert len(store.records(suite=HISTORY_SUITE, scan=HISTORY_SCAN)) == 3
+
+    # Regressed run: flagged, but still appended (median keeps one bad
+    # run from dragging the trend).
+    regressions, checked, record, _ = history_check(
+        str(tmp_path), _fresh(fast=100.0), 1.0, 0.25)
+    assert any(name == "msm.256.fast_ops_per_sec"
+               for name, *_ in regressions)
+    assert len(store.records(suite=HISTORY_SUITE, scan=HISTORY_SCAN)) == 4
+
+
+def test_check_regression_history_demotes_core_scaled_on_mixed_hosts(
+        tmp_path, capsys):
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    try:
+        from check_regression import history_check
+    finally:
+        sys.path.pop(0)
+
+    def fresh(cpu, procs):
+        return {
+            "meta": {"cpu_count": cpu},
+            "service": {"b4": {"process_ops_per_sec": procs,
+                               "fast_ops_per_sec": 500.0}},
+        }
+
+    store = ResultStore(str(tmp_path))
+    append_history(store, fresh(16, 400.0), 1.0)
+    append_history(store, fresh(16, 400.0), 1.0)
+
+    # A 4-core host falling far below the 16-core trend on the pool
+    # metric is hardware, not a regression — but the plain fast-path
+    # metric still gates.
+    regressions, checked, _, _ = history_check(
+        str(tmp_path), fresh(4, 90.0), 1.0, 0.25)
+    assert "not gating" in capsys.readouterr().out
+    assert all(name != "service.b4.process_ops_per_sec"
+               for name, *_ in regressions)
+    assert checked >= 1
+
+
+# -- suite end-to-end + CLI --------------------------------------------------
+
+
+def test_paper_suite_cheap_scans_end_to_end(tmp_path):
+    store = ResultStore(str(tmp_path))
+    outcomes = PAPER_SUITE.run(store, scans=["table1", "psq"])
+    assert set(outcomes) == {"table1", "psq"}
+    assert all(o.records for o in outcomes.values())
+
+    # Renders come from the store alone: a fresh store handle suffices.
+    rendered = dict(PAPER_SUITE.render(ResultStore(str(tmp_path)),
+                                       scans=["table1", "psq"]))
+    assert "Table I" in rendered["table1"]
+    assert "zkVC" in rendered["table1"]
+    assert "left-wire accounting" in rendered["psq"]
+    assert "crpc_psq" in rendered["psq"]
+
+    with pytest.raises(ValueError):
+        PAPER_SUITE.run(store, scans=["no_such_scan"])
+
+
+def test_cli_list_show_frontier(tmp_path, capsys):
+    store = ResultStore(str(tmp_path))
+    PAPER_SUITE.run(store, scans=["table1"])
+    store.append("adhoc", "probe", {"n": 1}, {"ops": 2.0})
+
+    assert obs_cli.main(["--store", str(tmp_path), "list"]) == 0
+    out = capsys.readouterr().out
+    assert "paper" in out and "table1" in out and "adhoc" in out
+
+    assert obs_cli.main(
+        ["--store", str(tmp_path), "show", "table1", "--suite", "paper"]
+    ) == 0
+    assert "Table I" in capsys.readouterr().out
+
+    assert obs_cli.main(
+        ["--store", str(tmp_path), "frontier", "--suite", "adhoc"]) == 0
+    out = capsys.readouterr().out
+    assert "probe" in out and "2" in out
